@@ -1,0 +1,85 @@
+// E-L12 (Lemma 12 + Lemma 8): convergence of agent domains.
+//
+// Lemma 12: if every lazy domain has size >= 20k (and the unexplored region
+// has negative pointers), adjacent lazy domain sizes eventually differ by
+// at most 10. Lemma 8 (via the token game) guarantees domains never
+// degenerate: min size stays >= mu - 5k + 2 once all domains have size mu.
+//
+// The bench tracks max adjacent difference and min/max domain sizes over
+// time for several initializations, showing convergence to a band of width
+// <= ~10 around n/k.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/table.hpp"
+#include "common/rng.hpp"
+#include "core/domains.hpp"
+#include "core/initializers.hpp"
+
+namespace {
+
+using rr::analysis::Table;
+using rr::core::NodeId;
+
+void track(const char* name, rr::core::RingRotorRouter rr, std::uint32_t k) {
+  const NodeId n = rr.num_nodes();
+  rr.run_until_covered(8ULL * n * n);
+  std::printf("--- %s (covered at round %llu) ---\n", name,
+              static_cast<unsigned long long>(rr.time()));
+  Table t({"rounds after coverage", "#domains", "min size", "max size",
+           "max adjacent diff", "max adjacent lazy diff"});
+  std::uint64_t offset = 0;
+  std::uint32_t final_diff = 0;
+  for (int sample = 0; sample <= 8; ++sample) {
+    const auto snap = rr::core::compute_domains(rr);
+    t.add_row({Table::integer(offset),
+               Table::integer(snap.domains.size()),
+               Table::integer(snap.min_size()), Table::integer(snap.max_size()),
+               Table::integer(snap.max_adjacent_diff()),
+               Table::integer(snap.max_adjacent_lazy_diff())});
+    final_diff = snap.max_adjacent_diff();
+    const std::uint64_t stride = 1ULL * n * n / (k * 4) + 1;
+    rr.run(stride);
+    offset += stride;
+  }
+  t.print();
+  std::printf("final max adjacent difference: %u (Lemma 12 bound: <= 10, "
+              "n/k = %u)\n\n", final_diff, n / k);
+}
+
+}  // namespace
+
+int main() {
+  rr::analysis::print_bench_header(
+      "Domain convergence on the ring",
+      "Lemma 12 (adjacent sizes differ by <= 10 in the limit), Lemma 8");
+
+  const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(1024));
+  const std::uint32_t k = 8;
+  rr::Rng rng(99);
+
+  {
+    const auto agents = rr::core::place_equally_spaced(n, k);
+    track("equally spaced, negative pointers",
+          rr::core::RingRotorRouter(n, agents,
+                                    rr::core::pointers_negative(n, agents)),
+          k);
+  }
+  {
+    const auto agents = rr::core::place_all_on_one(k, 0);
+    track("all on one node, pointers toward start",
+          rr::core::RingRotorRouter(n, agents,
+                                    rr::core::pointers_toward(n, 0)),
+          k);
+  }
+  {
+    const auto agents = rr::core::place_random(n, k, rng);
+    track("random placement, random pointers",
+          rr::core::RingRotorRouter(n, agents,
+                                    rr::core::pointers_random(n, rng)),
+          k);
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// P-1: engine micro-benchmarks (google-benchmark).
+//
+// Throughput of the three simulation engines: the ring-specialized
+// rotor-router (O(#occupied)/round), the general-graph rotor-router, and
+// the batched ring random walks. Reported as agent-steps per second so the
+// experiment-harness budgets in DESIGN.md can be checked.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cover_time.hpp"
+#include "core/initializers.hpp"
+#include "core/ring_rotor_router.hpp"
+#include "core/rotor_router.hpp"
+#include "graph/generators.hpp"
+#include "walk/ring_walk.hpp"
+
+namespace {
+
+void BM_RingRotorRouter(benchmark::State& state) {
+  const auto n = static_cast<rr::core::NodeId>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const auto agents = rr::core::place_equally_spaced(n, k);
+  rr::core::RingRotorRouter rr(n, agents,
+                               rr::core::pointers_negative(n, agents));
+  for (auto _ : state) {
+    rr.step();
+    benchmark::DoNotOptimize(rr.covered_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+BENCHMARK(BM_RingRotorRouter)
+    ->Args({1 << 12, 8})
+    ->Args({1 << 16, 8})
+    ->Args({1 << 16, 64})
+    ->Args({1 << 20, 64})
+    ->Args({1 << 20, 1024});
+
+void BM_GeneralRotorRouterTorus(benchmark::State& state) {
+  const auto side = static_cast<rr::graph::NodeId>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  rr::graph::Graph g = rr::graph::torus(side, side);
+  std::vector<rr::graph::NodeId> agents(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    agents[i] = (i * g.num_nodes()) / k;
+  }
+  rr::core::RotorRouter rr(g, agents);
+  for (auto _ : state) {
+    rr.step();
+    benchmark::DoNotOptimize(rr.covered_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+BENCHMARK(BM_GeneralRotorRouterTorus)->Args({64, 8})->Args({64, 64})
+    ->Args({256, 64});
+
+void BM_RingRandomWalks(benchmark::State& state) {
+  const auto n = static_cast<rr::walk::NodeId>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  std::vector<rr::walk::NodeId> starts(k);
+  for (std::uint32_t i = 0; i < k; ++i) starts[i] = (i * n) / k;
+  rr::walk::RingRandomWalks walks(n, starts, 42);
+  for (auto _ : state) {
+    walks.step();
+    benchmark::DoNotOptimize(walks.covered_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+BENCHMARK(BM_RingRandomWalks)->Args({1 << 16, 8})->Args({1 << 16, 64})
+    ->Args({1 << 20, 64});
+
+void BM_CoverTimeWorstCase(benchmark::State& state) {
+  // End-to-end: full worst-case cover run (Thm 1 instance).
+  const auto n = static_cast<rr::core::NodeId>(state.range(0));
+  const std::uint32_t k = 16;
+  for (auto _ : state) {
+    rr::core::RingConfig c{n, rr::core::place_all_on_one(k, 0),
+                           rr::core::pointers_toward(n, 0)};
+    benchmark::DoNotOptimize(rr::core::ring_cover_time(c));
+  }
+}
+BENCHMARK(BM_CoverTimeWorstCase)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

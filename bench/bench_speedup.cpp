@@ -1,0 +1,88 @@
+// E-SPD (Sec. 1.1 + Conclusions): speed-up of k agents over one agent.
+//
+// Paper's summary of the comparison:
+//   rotor-router speed-up: between Theta(log k) (worst placement) and
+//   Theta(k^2) (best placement); random-walk speed-up: between
+//   Theta(log k) and Theta(k^2/log^2 k); return-time speed-up: Theta(k)
+//   for both models.
+// This bench produces the speed-up curves for all six cases.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/parallel.hpp"
+#include "analysis/table.hpp"
+#include "core/cover_time.hpp"
+#include "core/initializers.hpp"
+#include "walk/ring_walk.hpp"
+
+namespace {
+
+using rr::analysis::Table;
+using rr::core::NodeId;
+using rr::core::RingConfig;
+
+double walk_cover_mean(NodeId n, const std::vector<NodeId>& starts,
+                       std::uint64_t trials, std::uint64_t seed) {
+  return rr::analysis::parallel_stats(trials, [&](std::uint64_t i) {
+    rr::walk::RingRandomWalks w(n, starts, seed + 31 * i);
+    return static_cast<double>(w.run_until_covered(~0ULL / 2));
+  }).mean();
+}
+
+}  // namespace
+
+int main() {
+  rr::analysis::print_bench_header(
+      "Speed-up of k agents over a single agent",
+      "Table 1 consequences + Conclusions: log k .. k^2 (rotor), "
+      "log k .. k^2/log^2 k (walks), k (return)");
+
+  const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(1024));
+  const std::uint64_t trials = rr::analysis::scaled(16, 6);
+
+  // Single-agent baselines.
+  RingConfig single{n, {0}, rr::core::pointers_toward(n, 0)};
+  const double rr_c1 = static_cast<double>(rr::core::ring_cover_time(single));
+  const double rw_c1 = walk_cover_mean(n, {0}, trials, 11);
+  const auto rr_r1 = rr::core::ring_return_time(single);
+
+  Table t({"k", "rotor worst (log k?)", "rotor best (k^2?)",
+           "walks worst (log k?)", "walks best (k^2/log^2 k?)",
+           "rotor return (k?)"});
+  for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    RingConfig worst{n, rr::core::place_all_on_one(k, 0),
+                     rr::core::pointers_toward(n, 0)};
+    const double rrw = static_cast<double>(rr::core::ring_cover_time(worst));
+    RingConfig best{n, rr::core::place_equally_spaced(n, k), {}};
+    best.pointers = rr::core::pointers_negative(n, best.agents);
+    const double rrb = static_cast<double>(rr::core::ring_cover_time(best));
+    const double rww =
+        walk_cover_mean(n, rr::core::place_all_on_one(k, 0), trials, 200 + k);
+    const double rwb = walk_cover_mean(
+        n, rr::core::place_equally_spaced(n, k), trials, 300 + k);
+    const auto ret = rr::core::ring_return_time(best);
+
+    const double lk = std::log2(static_cast<double>(k));
+    auto cell = [](double speedup, double normalizer) {
+      return Table::num(speedup, 1) + " (/" + "pred=" +
+             Table::num(speedup / normalizer, 2) + ")";
+    };
+    t.add_row({Table::integer(k),
+               cell(rr_c1 / rrw, lk),
+               cell(rr_c1 / rrb, static_cast<double>(k) * k),
+               cell(rw_c1 / rww, lk),
+               cell(rw_c1 / rwb, static_cast<double>(k) * k / (lk * lk)),
+               cell(static_cast<double>(rr_r1.max_gap) / ret.max_gap,
+                    static_cast<double>(k))});
+  }
+  t.print();
+  std::printf(
+      "\nEach cell shows `speed-up (/pred=ratio)`: the ratio of the measured"
+      " speed-up to the paper's predicted growth law; flat ratios across k"
+      " confirm the shape. Rotor-router best-case reaches Theta(k^2) — "
+      "faster than random walks' Theta(k^2/log^2 k).\n");
+  return 0;
+}

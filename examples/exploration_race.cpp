@@ -1,0 +1,78 @@
+// Example: multi-agent exploration race across topologies.
+//
+// The paper's Table 1 is about the ring; this example uses the general-
+// graph engine to race the k-agent rotor-router against k random walks on
+// several topologies, from the same starting nodes, reporting cover times.
+// It reproduces Yanovski et al.'s observation (Sec. 1.2) of near-linear
+// multi-agent speed-up in "practical" (non-adversarial) scenarios, and
+// shows the deterministic system is competitive with — often better than —
+// the randomized one.
+//
+//   ./build/examples/exploration_race
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/parallel.hpp"
+#include "analysis/table.hpp"
+#include "core/cover_time.hpp"
+#include "graph/generators.hpp"
+#include "walk/random_walk.hpp"
+
+namespace {
+
+using rr::analysis::Table;
+using rr::graph::Graph;
+using rr::graph::NodeId;
+
+}  // namespace
+
+int main() {
+  std::printf("Exploration race: k-agent rotor-router vs k random walks\n");
+  std::printf("(all agents start at node 0; walk numbers are means of 20"
+              " trials)\n\n");
+
+  struct Entry {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Entry> graphs;
+  graphs.push_back({"ring(256)", rr::graph::ring(256)});
+  graphs.push_back({"grid(16x16)", rr::graph::grid(16, 16)});
+  graphs.push_back({"torus(16x16)", rr::graph::torus(16, 16)});
+  graphs.push_back({"hypercube(8)", rr::graph::hypercube(8)});
+  graphs.push_back({"clique(64)", rr::graph::clique(64)});
+  graphs.push_back({"binary_tree(255)", rr::graph::binary_tree(255)});
+  graphs.push_back({"random_4_regular(256)", rr::graph::random_regular(256, 4, 9)});
+  graphs.push_back({"lollipop(192,64)", rr::graph::lollipop(192, 64)});
+
+  for (std::uint32_t k : {1u, 4u, 16u}) {
+    Table t({"topology (k=" + std::to_string(k) + ")", "rotor-router cover",
+             "random-walk cover (mean)", "walks/rotor"});
+    for (const auto& e : graphs) {
+      const std::vector<NodeId> starts(k, 0);
+      const auto rr_cover = rr::core::graph_cover_time(e.g, starts);
+      const auto walk_mean =
+          rr::analysis::parallel_stats(20, [&](std::uint64_t i) {
+            rr::walk::GraphRandomWalks w(e.g, starts, 500 + 37 * i + k);
+            return static_cast<double>(w.run_until_covered(~0ULL / 2));
+          }).mean();
+      t.add_row({e.name, Table::integer(rr_cover),
+                 Table::num(walk_mean, 0),
+                 Table::num(walk_mean / static_cast<double>(rr_cover), 2)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  std::printf("Notes:\n"
+              " - lollipop: the classic random-walk trap (expected cover"
+              " ~n^3 for one walker); the rotor-router's D|E| guarantee"
+              " avoids it.\n"
+              " - clique/hypercube: random walks shine (small mixing time);"
+              " the deterministic guarantee stays within a small factor.\n"
+              " - speed-up from k=1 to k=16 is near-linear for both models"
+              " on well-connected graphs (Yanovski et al.).\n");
+  return 0;
+}

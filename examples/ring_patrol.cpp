@@ -1,0 +1,80 @@
+// Example: perimeter patrolling with a deterministic refresh guarantee.
+//
+// Scenario: k patrol robots monitor an n-segment perimeter (a ring of
+// sensors). Operations wants a hard bound on *idleness*: the longest time
+// any sensor goes unchecked. Thm 6 gives the rotor-router a deterministic
+// Theta(n/k) guarantee after stabilization; k random patrollers achieve
+// n/k only in expectation, with a heavy tail this example makes visible.
+//
+//   ./build/examples/ring_patrol [n] [k]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/cover_time.hpp"
+#include "core/initializers.hpp"
+#include "core/limit_cycle.hpp"
+#include "walk/ring_walk.hpp"
+
+int main(int argc, char** argv) {
+  const rr::core::NodeId n = argc > 1 ? std::atoi(argv[1]) : 600;
+  const std::uint32_t k = argc > 2 ? std::atoi(argv[2]) : 6;
+  std::printf("Perimeter patrol: %u sensors, %u robots (target idleness"
+              " ~ n/k = %u rounds)\n\n", n, k, n / k);
+
+  // Deploy the rotor-router patrol from an arbitrary (bad) initial state:
+  // all robots start at the depot, every pointer aimed at the depot.
+  rr::core::RingConfig config{n, rr::core::place_all_on_one(k, 0),
+                              rr::core::pointers_toward(n, 0)};
+
+  // Phase 1: deployment. How long until every sensor has been checked once?
+  const std::uint64_t first_sweep = rr::core::ring_cover_time(config);
+  std::printf("first full sweep completed after %llu rounds"
+              " (worst-case deployment, Thm 1: Theta(n^2/log k))\n",
+              static_cast<unsigned long long>(first_sweep));
+
+  // Phase 2: steady state. Exact idleness bound on the limit cycle.
+  const auto exact = rr::core::exact_return_time(config, 1ULL << 34);
+  if (exact) {
+    std::printf("steady-state guarantee: every sensor checked at least once"
+                " every %llu rounds (period %llu)\n",
+                static_cast<unsigned long long>(exact->max_gap),
+                static_cast<unsigned long long>(exact->period));
+  } else {
+    const auto ret = rr::core::ring_return_time(config);
+    std::printf("steady-state (windowed): max idleness %llu rounds\n",
+                static_cast<unsigned long long>(ret.max_gap));
+  }
+
+  // The randomized alternative: same fleet doing independent random walks.
+  // Track worst idleness over a long horizon.
+  const std::uint64_t horizon = 200ULL * n;
+  rr::walk::RingRandomWalks walks(n, config.agents, 12345);
+  walks.run(4ULL * n);  // mix first
+  std::vector<std::uint64_t> last_seen(n, walks.time());
+  std::uint64_t worst_idle = 0;
+  const std::uint64_t t_end = walks.time() + horizon;
+  while (walks.time() < t_end) {
+    walks.step();
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const auto p = walks.position(i);
+      worst_idle = std::max(worst_idle, walks.time() - last_seen[p]);
+      last_seen[p] = walks.time();
+    }
+  }
+  for (rr::walk::NodeId v = 0; v < n; ++v) {
+    worst_idle = std::max(worst_idle, t_end - last_seen[v]);
+  }
+  std::printf("\nrandom-walk patrol over %llu rounds: worst observed"
+              " idleness %llu rounds (%.1fx the n/k target;"
+              " grows with the horizon — no hard guarantee)\n",
+              static_cast<unsigned long long>(horizon),
+              static_cast<unsigned long long>(worst_idle),
+              static_cast<double>(worst_idle) * k / n);
+  std::printf("\nTakeaway: the deterministic rotor-router turns the"
+              " *expected* refresh n/k of random patrols into a hard"
+              " worst-case bound of ~2n/k (Thm 6).\n");
+  return 0;
+}

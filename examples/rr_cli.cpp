@@ -1,0 +1,240 @@
+// rr_cli: command-line driver for one-off rotor-ring experiments.
+//
+//   rr_cli cover   --n 1024 --k 8 --place one|spaced|random --ptr toward|negative|uniform|random [--seed S]
+//   rr_cli return  (same flags)                       measure the limit refresh time
+//   rr_cli trace   --n 72 --k 4 --rounds 200 --stride 8 [--domains]   ASCII space-time diagram
+//   rr_cli config  "ring n=12 agents=0,6 pointers=cccccccccccc" [--rounds R]
+//   rr_cli lockin  --topo ring|grid|torus|clique|hypercube|tree --size 64
+//
+// Exit code 0 on success, 2 on usage errors (so scripts can distinguish).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/cover_time.hpp"
+#include "core/initializers.hpp"
+#include "core/limit_cycle.hpp"
+#include "core/snapshot.hpp"
+#include "core/trace.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+struct Flags {
+  rr::core::NodeId n = 1024;
+  std::uint32_t k = 8;
+  std::string place = "spaced";
+  std::string ptr = "negative";
+  std::uint64_t seed = 1;
+  std::uint64_t rounds = 0;
+  std::uint64_t stride = 1;
+  bool domains = false;
+  std::string topo = "ring";
+  rr::graph::NodeId size = 64;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rr_cli <cover|return|trace|config|lockin> [flags]\n"
+               "  common flags: --n N --k K --place one|spaced|random"
+               " --ptr toward|negative|uniform|random --seed S\n"
+               "  trace: --rounds R --stride S --domains\n"
+               "  lockin: --topo ring|grid|torus|clique|hypercube|tree"
+               " --size N\n");
+  return 2;
+}
+
+bool parse_flags(int argc, char** argv, int start, Flags& f) {
+  for (int i = start; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rr_cli: %s needs a value\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--domains") {
+      f.domains = true;
+    } else if (a == "--n") {
+      const char* v = next("--n");
+      if (!v) return false;
+      f.n = static_cast<rr::core::NodeId>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--k") {
+      const char* v = next("--k");
+      if (!v) return false;
+      f.k = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      f.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--rounds") {
+      const char* v = next("--rounds");
+      if (!v) return false;
+      f.rounds = std::strtoull(v, nullptr, 10);
+    } else if (a == "--stride") {
+      const char* v = next("--stride");
+      if (!v) return false;
+      f.stride = std::strtoull(v, nullptr, 10);
+    } else if (a == "--place") {
+      const char* v = next("--place");
+      if (!v) return false;
+      f.place = v;
+    } else if (a == "--ptr") {
+      const char* v = next("--ptr");
+      if (!v) return false;
+      f.ptr = v;
+    } else if (a == "--topo") {
+      const char* v = next("--topo");
+      if (!v) return false;
+      f.topo = v;
+    } else if (a == "--size") {
+      const char* v = next("--size");
+      if (!v) return false;
+      f.size = static_cast<rr::graph::NodeId>(std::strtoul(v, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "rr_cli: unknown flag %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool build_config(const Flags& f, rr::core::RingConfig& config) {
+  rr::Rng rng(f.seed);
+  config.n = f.n;
+  if (f.place == "one") {
+    config.agents = rr::core::place_all_on_one(f.k, 0);
+  } else if (f.place == "spaced") {
+    config.agents = rr::core::place_equally_spaced(f.n, f.k);
+  } else if (f.place == "random") {
+    config.agents = rr::core::place_random(f.n, f.k, rng);
+  } else {
+    std::fprintf(stderr, "rr_cli: unknown placement %s\n", f.place.c_str());
+    return false;
+  }
+  if (f.ptr == "toward") {
+    config.pointers = rr::core::pointers_toward(f.n, config.agents.front());
+  } else if (f.ptr == "negative") {
+    config.pointers = rr::core::pointers_negative(f.n, config.agents);
+  } else if (f.ptr == "uniform") {
+    config.pointers = rr::core::pointers_uniform(f.n, rr::core::kClockwise);
+  } else if (f.ptr == "random") {
+    config.pointers = rr::core::pointers_random(f.n, rng);
+  } else {
+    std::fprintf(stderr, "rr_cli: unknown pointer init %s\n", f.ptr.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_cover(const Flags& f) {
+  rr::core::RingConfig config;
+  if (!build_config(f, config)) return 2;
+  const auto cover = rr::core::ring_cover_time(config);
+  std::printf("config: %s\n", rr::core::to_text(config).substr(0, 96).c_str());
+  if (cover == rr::core::kRingNotCovered) {
+    std::printf("cover: not covered within the default cap\n");
+    return 1;
+  }
+  std::printf("cover: %llu rounds (n^2/log2k = %.0f, (n/k)^2 = %.0f)\n",
+              static_cast<unsigned long long>(cover),
+              static_cast<double>(f.n) * f.n /
+                  (f.k > 1 ? std::log2(static_cast<double>(f.k)) : 1.0),
+              static_cast<double>(f.n) / f.k * f.n / f.k);
+  return 0;
+}
+
+int cmd_return(const Flags& f) {
+  rr::core::RingConfig config;
+  if (!build_config(f, config)) return 2;
+  const auto ret = rr::core::ring_return_time(config);
+  std::printf("return: max gap %llu, mean gap %.1f (n/k = %u); covered=%s\n",
+              static_cast<unsigned long long>(ret.max_gap), ret.mean_gap,
+              f.n / f.k, ret.covered ? "yes" : "no");
+  return 0;
+}
+
+int cmd_trace(Flags f) {
+  rr::core::RingConfig config;
+  if (!build_config(f, config)) return 2;
+  if (f.rounds == 0) f.rounds = 4ULL * f.n;
+  rr::core::RingRotorRouter engine = config.make();
+  rr::core::TraceOptions opt;
+  opt.rounds = f.rounds;
+  opt.stride = f.stride ? f.stride : 1;
+  opt.domains = f.domains;
+  std::fputs(rr::core::format_trace(rr::core::record_trace(engine, opt)).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_config(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto config = rr::core::ring_config_from_text(argv[2]);
+  if (!config) {
+    std::fprintf(stderr, "rr_cli: malformed config text\n");
+    return 2;
+  }
+  Flags f;
+  if (!parse_flags(argc, argv, 3, f)) return 2;
+  rr::core::RingRotorRouter engine = config->make();
+  const std::uint64_t rounds = f.rounds ? f.rounds : 1;
+  engine.run(rounds);
+  std::printf("after %llu rounds: %s\n",
+              static_cast<unsigned long long>(rounds),
+              rr::core::to_text(rr::core::checkpoint(engine)).c_str());
+  std::printf("covered %u/%u nodes\n", engine.covered_count(),
+              engine.num_nodes());
+  return 0;
+}
+
+int cmd_lockin(const Flags& f) {
+  rr::graph::Graph g = [&] {
+    if (f.topo == "grid") return rr::graph::grid(f.size, f.size);
+    if (f.topo == "torus") return rr::graph::torus(f.size, f.size);
+    if (f.topo == "clique") return rr::graph::clique(f.size);
+    if (f.topo == "hypercube") {
+      std::uint32_t d = 1;
+      while ((1u << d) < f.size) ++d;
+      return rr::graph::hypercube(d);
+    }
+    if (f.topo == "tree") return rr::graph::binary_tree(f.size);
+    return rr::graph::ring(f.size);
+  }();
+  const auto res = rr::core::single_agent_lock_in(g, 0);
+  if (!res.locked_in) {
+    std::printf("lockin: not found within cap (%llu steps)\n",
+                static_cast<unsigned long long>(res.steps_simulated));
+    return 1;
+  }
+  std::printf("lockin: t=%llu, bound 2D|E|=%llu (%s, %u nodes, %zu edges)\n",
+              static_cast<unsigned long long>(res.lock_in_time),
+              static_cast<unsigned long long>(2ULL * g.diameter() *
+                                              g.num_edges()),
+              f.topo.c_str(), g.num_nodes(), g.num_edges());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "config") return cmd_config(argc, argv);
+  Flags f;
+  if (!parse_flags(argc, argv, 2, f)) return 2;
+  if (f.n < 3 || f.k < 1 || f.k > f.n) {
+    std::fprintf(stderr, "rr_cli: need n >= 3 and 1 <= k <= n\n");
+    return 2;
+  }
+  if (cmd == "cover") return cmd_cover(f);
+  if (cmd == "return") return cmd_return(f);
+  if (cmd == "trace") return cmd_trace(f);
+  if (cmd == "lockin") return cmd_lockin(f);
+  return usage();
+}

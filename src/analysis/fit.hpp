@@ -1,0 +1,83 @@
+#pragma once
+
+// Least-squares fits (S11) for Theta-shape verification.
+//
+// A claim "T = Theta(n^a)" is checked by fitting log T against log n over a
+// geometric sweep: the fitted slope should be ~a with R^2 near 1. Claims
+// with log factors (e.g. n^2/log k) are checked instead by the flatness of
+// measured/predicted ratios (see `ratio_spread`).
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace rr::analysis {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares y = slope*x + intercept.
+inline LinearFit fit_linear(std::span<const double> xs,
+                            std::span<const double> ys) {
+  RR_REQUIRE(xs.size() == ys.size(), "mismatched sample sizes");
+  RR_REQUIRE(xs.size() >= 2, "need at least two points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  RR_REQUIRE(denom != 0.0, "degenerate x sample");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0;
+  const double ybar = sy / n;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i] + fit.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ybar) * (ys[i] - ybar);
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+/// Power-law fit y = C * x^a via OLS in log-log space; returns (a, log C, R^2).
+inline LinearFit fit_power_law(std::span<const double> xs,
+                               std::span<const double> ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    RR_REQUIRE(xs[i] > 0 && ys[i] > 0, "power-law fit needs positive data");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+/// max(ratio)/min(ratio) over ratios[i] = measured[i]/predicted[i]: the
+/// Theta-shape flatness statistic (1.0 = perfectly flat).
+inline double ratio_spread(std::span<const double> measured,
+                           std::span<const double> predicted) {
+  RR_REQUIRE(measured.size() == predicted.size() && !measured.empty(),
+             "mismatched or empty samples");
+  double lo = measured[0] / predicted[0], hi = lo;
+  for (std::size_t i = 1; i < measured.size(); ++i) {
+    const double r = measured[i] / predicted[i];
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  RR_REQUIRE(lo > 0, "ratios must be positive");
+  return hi / lo;
+}
+
+}  // namespace rr::analysis

@@ -1,0 +1,72 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rr::analysis {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  RR_REQUIRE(bins > 0, "need at least one bin");
+  RR_REQUIRE(hi > lo, "need hi > lo");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+double Histogram::quantile(double q) const {
+  RR_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  RR_REQUIRE(total_ > 0, "quantile of empty histogram");
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cum + static_cast<double>(counts_[b]);
+    if (next >= target && counts_[b] > 0) {
+      // Linear interpolation within the bin.
+      const double frac = (target - cum) / static_cast<double>(counts_[b]);
+      return bin_low(b) + frac * width_;
+    }
+    cum = next;
+  }
+  return bin_high(counts_.size() - 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (std::uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char label[64];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(label, sizeof(label), "[%8.1f, %8.1f) %8llu |",
+                  bin_low(b), bin_high(b),
+                  static_cast<unsigned long long>(counts_[b]));
+    out += label;
+    out += std::string((counts_[b] * width) / peak, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) {
+    std::snprintf(label, sizeof(label), "underflow: %llu\n",
+                  static_cast<unsigned long long>(underflow_));
+    out += label;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(label, sizeof(label), "overflow:  %llu\n",
+                  static_cast<unsigned long long>(overflow_));
+    out += label;
+  }
+  return out;
+}
+
+}  // namespace rr::analysis

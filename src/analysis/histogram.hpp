@@ -1,0 +1,51 @@
+#pragma once
+
+// Fixed-bin histogram with ASCII rendering (S11 extension).
+//
+// Used to contrast the *distribution* of inter-visit gaps: the rotor-router
+// concentrates on ~2n/k deterministically (Thm 6) while random walks have a
+// heavy upper tail (Sec. 4's closing remark about high variance).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace rr::analysis {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) split uniformly into `bins` buckets; values outside the
+  /// range land in saturating under/overflow buckets.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs) {
+    for (double x : xs) add(x);
+  }
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  double bin_low(std::size_t bin) const {
+    return lo_ + static_cast<double>(bin) * width_;
+  }
+  double bin_high(std::size_t bin) const { return bin_low(bin) + width_; }
+
+  /// Approximate q-quantile from bin boundaries (exact for the bin edges).
+  double quantile(double q) const;
+
+  /// Multi-line ASCII bar chart, `width` characters for the largest bin.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace rr::analysis

@@ -1,0 +1,70 @@
+#include "analysis/ode.hpp"
+
+#include <numeric>
+
+namespace rr::analysis {
+
+ContinuousDomainModel::ContinuousDomainModel(std::vector<double> nu,
+                                             Boundary boundary)
+    : nu_(std::move(nu)), boundary_(boundary) {
+  RR_REQUIRE(!nu_.empty(), "need at least one domain");
+  for (double v : nu_) RR_REQUIRE(v > 0.0, "domain sizes must be positive");
+}
+
+std::vector<double> ContinuousDomainModel::derivative(
+    const std::vector<double>& nu) const {
+  const std::size_t k = nu.size();
+  std::vector<double> d(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    double left_term, right_term;
+    if (boundary_ == Boundary::kCyclic) {
+      left_term = 0.5 / nu[(i + k - 1) % k];
+      right_term = 0.5 / nu[(i + 1) % k];
+    } else {
+      // nu_0 = nu_{k+1} = +inf: boundary neighbors exert no pressure.
+      left_term = (i == 0) ? 0.0 : 0.5 / nu[i - 1];
+      right_term = (i + 1 == k) ? 0.0 : 0.5 / nu[i + 1];
+    }
+    d[i] = 1.0 / nu[i] - left_term - right_term;
+  }
+  return d;
+}
+
+void ContinuousDomainModel::step(double dt) {
+  RR_REQUIRE(dt > 0.0, "dt must be positive");
+  const std::size_t k = nu_.size();
+  const auto k1 = derivative(nu_);
+  std::vector<double> tmp(k);
+  for (std::size_t i = 0; i < k; ++i) tmp[i] = nu_[i] + 0.5 * dt * k1[i];
+  const auto k2 = derivative(tmp);
+  for (std::size_t i = 0; i < k; ++i) tmp[i] = nu_[i] + 0.5 * dt * k2[i];
+  const auto k3 = derivative(tmp);
+  for (std::size_t i = 0; i < k; ++i) tmp[i] = nu_[i] + dt * k3[i];
+  const auto k4 = derivative(tmp);
+  for (std::size_t i = 0; i < k; ++i) {
+    nu_[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    RR_REQUIRE(nu_[i] > 0.0, "domain size went non-positive; reduce dt");
+  }
+  time_ += dt;
+}
+
+void ContinuousDomainModel::run(double duration, double dt) {
+  const double t_end = time_ + duration;
+  while (time_ < t_end) {
+    step(std::min(dt, t_end - time_));
+  }
+}
+
+double ContinuousDomainModel::run_until_total(double target, double dt,
+                                              double max_time) {
+  while (total() < target && time_ < max_time) {
+    step(dt);
+  }
+  return time_;
+}
+
+double ContinuousDomainModel::total() const {
+  return std::accumulate(nu_.begin(), nu_.end(), 0.0);
+}
+
+}  // namespace rr::analysis

@@ -1,0 +1,54 @@
+#pragma once
+
+// Continuous-time approximation of domain evolution (S13, paper Sec. 2.3).
+//
+// The paper models the sizes nu_i(t) of the k agent domains by
+//   d nu_i / dt = 1/nu_i - 1/(2 nu_{i-1}) - 1/(2 nu_{i+1}),
+// where the boundary terms depend on coverage: while part of the ring is
+// unexplored, nu_0 = nu_{k+1} = +inf (a barrier of negatively initialized
+// pointers); once covered, indices wrap cyclically. The model predicts
+// f(t) ~ sqrt(t) growth of the explored region and (in the covered limit)
+// equal domain sizes — both checked against the discrete system in
+// bench_continuous_model and tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace rr::analysis {
+
+enum class Boundary : std::uint8_t {
+  kUncovered,  ///< nu_0 = nu_{k+1} = +inf (exploration phase)
+  kCyclic,     ///< domains of agents 1 and k are adjacent (ring covered)
+};
+
+class ContinuousDomainModel {
+ public:
+  /// `nu`: initial domain sizes nu_1..nu_k (all > 0).
+  ContinuousDomainModel(std::vector<double> nu, Boundary boundary);
+
+  /// One classic RK4 step of size dt (dt must keep all nu_i positive; the
+  /// step asserts positivity afterwards).
+  void step(double dt);
+  void run(double duration, double dt);
+
+  /// Integrates until sum nu_i >= target (returns the crossing time) or
+  /// until max_time (returns max_time). Only meaningful with kUncovered.
+  double run_until_total(double target, double dt, double max_time);
+
+  double time() const { return time_; }
+  const std::vector<double>& sizes() const { return nu_; }
+  double total() const;
+  Boundary boundary() const { return boundary_; }
+  void set_boundary(Boundary b) { boundary_ = b; }
+
+ private:
+  std::vector<double> derivative(const std::vector<double>& nu) const;
+
+  std::vector<double> nu_;
+  Boundary boundary_;
+  double time_ = 0.0;
+};
+
+}  // namespace rr::analysis

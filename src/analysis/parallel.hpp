@@ -1,0 +1,56 @@
+#pragma once
+
+// Thread-pooled trial runner (S15). Monte-Carlo estimates of random-walk
+// expectations need many independent trials; `parallel_trials` spreads
+// them over hardware threads deterministically (trial i always receives
+// the same derived seed regardless of scheduling).
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "common/require.hpp"
+
+namespace rr::analysis {
+
+/// Runs `fn(trial_index)` for indices [0, trials); returns the results in
+/// trial order. `max_threads` 0 = hardware concurrency.
+inline std::vector<double> parallel_trials(
+    std::uint64_t trials, const std::function<double(std::uint64_t)>& fn,
+    unsigned max_threads = 0) {
+  RR_REQUIRE(trials > 0, "need at least one trial");
+  unsigned threads = max_threads ? max_threads : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::uint64_t>(threads, trials));
+
+  std::vector<double> results(trials);
+  if (threads == 1) {
+    for (std::uint64_t i = 0; i < trials; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::uint64_t i = t; i < trials; i += threads) {
+        results[i] = fn(i);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+/// Convenience: run trials and fold into RunningStats.
+inline RunningStats parallel_stats(
+    std::uint64_t trials, const std::function<double(std::uint64_t)>& fn,
+    unsigned max_threads = 0) {
+  RunningStats stats;
+  for (double x : parallel_trials(trials, fn, max_threads)) stats.add(x);
+  return stats;
+}
+
+}  // namespace rr::analysis

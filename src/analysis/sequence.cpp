@@ -1,0 +1,84 @@
+#include "analysis/sequence.hpp"
+
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "common/require.hpp"
+
+namespace rr::analysis {
+
+namespace {
+
+/// Computes b_0..b_{k+1} for the given c; returns false if the sequence
+/// degenerates (some b_i <= 0) before reaching k+1, which signals that c is
+/// too small.
+bool compute_b(std::uint32_t k, double c, std::vector<double>& b) {
+  b.assign(k + 2, 0.0);
+  b[0] = 0.0;
+  b[1] = c;
+  for (std::uint32_t i = 1; i <= k; ++i) {
+    if (b[i] <= 0.0) return false;
+    b[i + 1] = 2.0 * b[i] - b[i - 1] - 1.0 / b[i];
+  }
+  return b[k] > 0.0;
+}
+
+}  // namespace
+
+double lemma13_boundary_gap(std::uint32_t k, double c) {
+  std::vector<double> b;
+  if (!compute_b(k, c, b)) {
+    // Degenerate: treat as a large negative gap so bisection moves c up.
+    return -1e9;
+  }
+  return b[k + 1] - b[k];
+}
+
+Lemma13Sequence compute_lemma13(std::uint32_t k, double tol) {
+  RR_REQUIRE(k > 3, "Lemma 13 requires k > 3");
+  // d_{k+1}(c) is increasing in c; bracket using the proof's bounds
+  // H_k <= c^2 <= 4(H_k + 1).
+  const double hk = harmonic(k);
+  double lo = std::sqrt(hk) * 0.5;
+  double hi = 2.0 * std::sqrt(hk + 1.0) + 1.0;
+  RR_REQUIRE(lemma13_boundary_gap(k, lo) < 0.0, "lower bracket not negative");
+  RR_REQUIRE(lemma13_boundary_gap(k, hi) > 0.0, "upper bracket not positive");
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double gap = lemma13_boundary_gap(k, mid);
+    if (gap < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < tol) break;
+  }
+  const double c = 0.5 * (lo + hi);
+
+  Lemma13Sequence seq;
+  seq.k = k;
+  seq.c = c;
+  const bool ok = compute_b(k, c, seq.b);
+  RR_REQUIRE(ok, "bisection produced a degenerate sequence");
+  seq.a.assign(k + 1, 0.0);
+  for (std::uint32_t i = 1; i <= k; ++i) seq.a[i] = 1.0 / (c * seq.b[i]);
+  return seq;
+}
+
+std::vector<double> Lemma13Sequence::prefix_from(std::uint32_t i) const {
+  std::vector<double> p(k + 2, 0.0);
+  for (std::uint32_t j = k; j >= 1; --j) {
+    p[j] = p[j + 1] + a[j];
+    if (j == i) break;
+  }
+  return p;
+}
+
+double Lemma13Sequence::p(std::uint32_t i) const {
+  RR_REQUIRE(i >= 1 && i <= k, "p(i) defined for 1 <= i <= k");
+  double s = 0.0;
+  for (std::uint32_t j = i; j <= k; ++j) s += a[j];
+  return s;
+}
+
+}  // namespace rr::analysis

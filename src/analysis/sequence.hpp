@@ -1,0 +1,37 @@
+#pragma once
+
+// The Lemma 13 sequence {a_i} (S12).
+//
+// Theorem 1's delayed deployment shapes agent domains proportionally to a
+// normalized stationary solution of the continuous-time model: a sequence
+// (a_0 = inf, a_1 > a_2 > ... > a_k = a_{k+1}) with sum a_i = 1 and
+//   a_i * a_1 = 2 a_i - 1/a_{i-1} - 1/a_{i+1}    (condition (4)) --
+// equivalently, via b_i = 1/(c a_i): b_0 = 0, b_1 = c,
+// b_{i+1} = 2 b_i - b_{i-1} - 1/b_i, with c chosen so b_{k+1} = b_k.
+// The solver finds c by bisection (d_{k+1}(c) = b_{k+1}-b_k is monotone
+// increasing in c in the relevant range) and verifies properties (1)-(6):
+// in particular 1/(4(H_k+1)) <= a_1 <= 1/H_k and a_i >= 1/(4 i (H_k+1)).
+
+#include <cstdint>
+#include <vector>
+
+namespace rr::analysis {
+
+struct Lemma13Sequence {
+  std::uint32_t k = 0;
+  double c = 0.0;               ///< the boundary-matching parameter (= 1/sqrt(a_1))
+  std::vector<double> a;        ///< a[1..k]; a[0] unused (represents +inf)
+  std::vector<double> b;        ///< b[0..k+1] with b_0=0, b_{k+1}=b_k
+
+  /// Partial sums p_i = a_i + ... + a_k (Thm 1's domain anchor positions).
+  std::vector<double> prefix_from(std::uint32_t i) const;
+  double p(std::uint32_t i) const;
+};
+
+/// Computes the sequence for k > 3 to within `tol` on d_{k+1}.
+Lemma13Sequence compute_lemma13(std::uint32_t k, double tol = 1e-12);
+
+/// d_{k+1}(c) = b_{k+1}(c) - b_k(c); exposed for tests of the bisection.
+double lemma13_boundary_gap(std::uint32_t k, double c);
+
+}  // namespace rr::analysis

@@ -1,0 +1,73 @@
+#pragma once
+
+// Statistics utilities (S11): running moments, confidence intervals,
+// quantiles. Every randomized experiment in the repository reports its
+// estimates with 95% CIs computed here.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace rr::analysis {
+
+/// Single-pass running mean/variance (Welford) with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Unbiased sample variance; 0 with fewer than 2 samples.
+  double variance() const {
+    return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Half-width of the normal-approximation 95% CI of the mean.
+  double ci95() const {
+    return n_ >= 2 ? 1.96 * stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Quantile by linear interpolation of the sorted sample (q in [0,1]).
+inline double quantile(std::vector<double> xs, double q) {
+  RR_REQUIRE(!xs.empty(), "quantile of empty sample");
+  RR_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double idx = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+inline double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+/// k-th harmonic number H_k = 1 + 1/2 + ... + 1/k (paper's Lemma 13).
+inline double harmonic(std::uint64_t k) {
+  double h = 0.0;
+  for (std::uint64_t i = 1; i <= k; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+}  // namespace rr::analysis

@@ -1,0 +1,33 @@
+#pragma once
+
+// Markdown table printer (S15) used by every bench binary to report
+// paper-vs-measured rows with aligned columns.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rr::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders as a GitHub-flavored markdown table with padded columns.
+  void print(std::ostream& os) const;
+  void print() const;  ///< to stdout
+
+  // Cell formatting helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(std::uint64_t v);
+  static std::string sci(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rr::analysis

@@ -1,0 +1,86 @@
+#include "analysis/token_game.hpp"
+
+#include <algorithm>
+
+namespace rr::analysis {
+
+TokenGame::TokenGame(std::uint32_t k, std::uint64_t eta)
+    : eta_(eta), stacks_(k, eta) {
+  RR_REQUIRE(k >= 2, "token game needs at least two stacks");
+}
+
+bool TokenGame::legal(std::uint32_t from, std::uint32_t to) const {
+  RR_REQUIRE(from < stacks_.size() && to < stacks_.size(), "stack out of range");
+  if (from == to || stacks_[from] == 0) return false;
+  return stacks_[to] <= stacks_[from] + 8;
+}
+
+bool TokenGame::try_move(std::uint32_t from, std::uint32_t to) {
+  if (!legal(from, to)) return false;
+  --stacks_[from];
+  ++stacks_[to];
+  ++moves_;
+  return true;
+}
+
+std::uint64_t TokenGame::min_stack() const {
+  return *std::min_element(stacks_.begin(), stacks_.end());
+}
+
+std::uint64_t TokenGame::max_stack() const {
+  return *std::max_element(stacks_.begin(), stacks_.end());
+}
+
+std::uint64_t TokenGame::total() const {
+  std::uint64_t t = 0;
+  for (std::uint64_t s : stacks_) t += s;
+  return t;
+}
+
+std::uint64_t adversarial_min_stack(std::uint32_t k, std::uint64_t eta,
+                                    std::uint64_t moves, std::uint64_t seed) {
+  TokenGame game(k, eta);
+  Rng rng(seed);
+  std::uint64_t min_seen = eta;
+  for (std::uint64_t m = 0; m < moves; ++m) {
+    // Greedy starvation: take from a minimum stack, give to the tallest
+    // stack that still accepts (<= min + 8). Random tie-breaks diversify
+    // the attack across seeds.
+    std::uint32_t from = 0;
+    for (std::uint32_t i = 1; i < k; ++i) {
+      if (game.stack(i) < game.stack(from) ||
+          (game.stack(i) == game.stack(from) && rng.bounded(2))) {
+        from = i;
+      }
+    }
+    std::uint32_t best = k;  // invalid
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if (i == from || !game.legal(from, i)) continue;
+      if (best == k || game.stack(i) > game.stack(best) ||
+          (game.stack(i) == game.stack(best) && rng.bounded(2))) {
+        best = i;
+      }
+    }
+    if (best == k) break;  // no legal move remains
+    game.try_move(from, best);
+    min_seen = std::min(min_seen, game.min_stack());
+  }
+  return min_seen;
+}
+
+std::uint64_t random_play_min_stack(std::uint32_t k, std::uint64_t eta,
+                                    std::uint64_t moves, std::uint64_t seed) {
+  TokenGame game(k, eta);
+  Rng rng(seed);
+  std::uint64_t min_seen = eta;
+  for (std::uint64_t m = 0; m < moves; ++m) {
+    const std::uint32_t from = rng.bounded(k);
+    const std::uint32_t to = rng.bounded(k);
+    if (game.try_move(from, to)) {
+      min_seen = std::min(min_seen, game.min_stack());
+    }
+  }
+  return min_seen;
+}
+
+}  // namespace rr::analysis

@@ -1,0 +1,62 @@
+#pragma once
+
+// The one-player token game from the proof of Lemma 8 (S14).
+//
+// k stacks, each starting with eta tokens. A move transfers one token; it
+// is *legal* iff the destination stack holds at most 8 tokens more than the
+// source. The paper's claim (proved via the y_i invariant) is that after
+// any number of legal moves every stack still holds >= eta - 5k + 5 tokens.
+// Lazy-domain sizes evolve as a special case of this game, which is how
+// Lemma 8's min-domain bound is obtained.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace rr::analysis {
+
+class TokenGame {
+ public:
+  TokenGame(std::uint32_t k, std::uint64_t eta);
+
+  std::uint32_t num_stacks() const {
+    return static_cast<std::uint32_t>(stacks_.size());
+  }
+  std::uint64_t stack(std::uint32_t i) const { return stacks_[i]; }
+  std::uint64_t eta() const { return eta_; }
+  std::uint64_t moves_made() const { return moves_; }
+
+  /// Legal iff stacks[to] <= stacks[from] + 8 (and from holds a token).
+  bool legal(std::uint32_t from, std::uint32_t to) const;
+  /// Applies the move if legal; returns whether it was applied.
+  bool try_move(std::uint32_t from, std::uint32_t to);
+
+  std::uint64_t min_stack() const;
+  std::uint64_t max_stack() const;
+  std::uint64_t total() const;
+
+  /// The paper's invariant bound: eta - 5k + 5 (as a signed value; the
+  /// claim is only nontrivial when it is positive).
+  std::int64_t invariant_bound() const {
+    return static_cast<std::int64_t>(eta_) - 5 * static_cast<std::int64_t>(num_stacks()) + 5;
+  }
+
+ private:
+  std::uint64_t eta_;
+  std::uint64_t moves_ = 0;
+  std::vector<std::uint64_t> stacks_;
+};
+
+/// Plays `moves` adversarial moves trying to starve a stack (greedy: drain
+/// the current minimum into its tallest legal target, with seeded random
+/// tie-breaking) and returns the minimum stack height ever observed.
+std::uint64_t adversarial_min_stack(std::uint32_t k, std::uint64_t eta,
+                                    std::uint64_t moves, std::uint64_t seed);
+
+/// Plays `moves` uniformly random legal moves; returns min height observed.
+std::uint64_t random_play_min_stack(std::uint32_t k, std::uint64_t eta,
+                                    std::uint64_t moves, std::uint64_t seed);
+
+}  // namespace rr::analysis

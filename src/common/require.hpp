@@ -1,0 +1,34 @@
+#pragma once
+
+// Precondition / invariant checking for the rotor-ring library.
+//
+// RR_REQUIRE is always on (it guards API misuse and adversarial inputs in
+// experiment drivers); RR_ASSERT compiles out in NDEBUG builds and guards
+// internal invariants on hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rr::detail {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file,
+                                        int line, const char* msg) {
+  std::fprintf(stderr, "rotor-ring: requirement `%s` violated at %s:%d: %s\n",
+               cond, file, line, msg);
+  std::abort();
+}
+
+}  // namespace rr::detail
+
+#define RR_REQUIRE(cond, msg)                                  \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::rr::detail::require_failed(#cond, __FILE__, __LINE__, msg); \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define RR_ASSERT(cond, msg) ((void)0)
+#else
+#define RR_ASSERT(cond, msg) RR_REQUIRE(cond, msg)
+#endif

@@ -1,0 +1,77 @@
+#pragma once
+
+// Deterministic, fast PRNG (S10): xoshiro256** seeded via splitmix64.
+//
+// Header-only and dependency-free so both the graph generators and the
+// random-walk engines can use it. All randomness in the repository flows
+// through this type; every experiment is reproducible from its seed.
+// (The rotor-router itself is deterministic and never touches an RNG.)
+
+#include <cstdint>
+
+namespace rr {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Passes BigCrush; 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint32_t bounded(std::uint32_t bound) {
+    std::uint64_t x = (*this)() >> 32;
+    std::uint64_t m = x * bound;
+    std::uint32_t lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      std::uint32_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)() >> 32;
+        m = x * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform double in [0,1).
+  double uniform01() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Derives an independent stream (for per-thread / per-trial RNGs).
+  Rng split() { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace rr

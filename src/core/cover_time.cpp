@@ -1,0 +1,84 @@
+#include "core/cover_time.hpp"
+
+#include <algorithm>
+
+namespace rr::core {
+
+std::uint64_t ring_cover_time(const RingConfig& config,
+                              std::uint64_t max_rounds) {
+  RingRotorRouter rr = config.make();
+  if (max_rounds == 0) {
+    max_rounds = 8ULL * config.n * config.n + 64ULL * config.n;
+  }
+  return rr.run_until_covered(max_rounds);
+}
+
+std::uint64_t graph_cover_time(const graph::Graph& g,
+                               const std::vector<NodeId>& agents,
+                               std::vector<std::uint32_t> pointers,
+                               std::uint64_t max_rounds) {
+  RotorRouter rr(g, agents, std::move(pointers));
+  if (max_rounds == 0) {
+    max_rounds = 4ULL * g.diameter() * g.num_edges() + 64ULL * g.num_edges();
+  }
+  return rr.run_until_covered(max_rounds);
+}
+
+ReturnTimeResult ring_return_time(const RingConfig& config,
+                                  std::uint64_t warmup, std::uint64_t window) {
+  const NodeId n = config.n;
+  const std::uint32_t k = static_cast<std::uint32_t>(config.agents.size());
+  RingRotorRouter rr = config.make();
+
+  ReturnTimeResult result;
+  if (warmup == 0) {
+    // Cover the ring, then let domains even out (Lemma 12's "sufficiently
+    // large number of steps"; 4 n^2/k extra rounds is generous for the
+    // sizes used in tests and benches).
+    const std::uint64_t cover =
+        rr.run_until_covered(8ULL * n * n + 64ULL * n);
+    result.covered = (cover != kRingNotCovered);
+    rr.run(4ULL * n * n / std::max(1u, k) + 16ULL * n);
+  } else {
+    rr.run(warmup);
+    result.covered = rr.all_covered();
+  }
+  if (window == 0) window = 8ULL * n / std::max(1u, k) + 64;
+
+  // Per-node max inter-visit gap over [T, T+window], seeded with the last
+  // visit before the window so boundary gaps are not missed.
+  std::vector<std::uint64_t> last_seen(n), max_gap(n, 0);
+  std::vector<std::uint64_t> visits_before(n);
+  for (NodeId v = 0; v < n; ++v) {
+    last_seen[v] = rr.last_visit_time(v);
+    visits_before[v] = rr.visits(v);
+  }
+  const std::uint64_t t_end = rr.time() + window;
+  while (rr.time() < t_end) {
+    rr.step();
+    // Visits this round are exactly the nodes whose last_visit == time().
+    for (NodeId v : rr.occupied_nodes()) {
+      if (rr.last_visit_time(v) == rr.time()) {
+        max_gap[v] = std::max(max_gap[v], rr.time() - last_seen[v]);
+        last_seen[v] = rr.time();
+      }
+    }
+  }
+  std::uint64_t worst = 0;
+  std::uint64_t min_visits = ~std::uint64_t{0};
+  double total_gap = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    max_gap[v] = std::max(max_gap[v], t_end - last_seen[v]);
+    worst = std::max(worst, max_gap[v]);
+    const std::uint64_t vis = rr.visits(v) - visits_before[v];
+    min_visits = std::min(min_visits, vis);
+    total_gap += vis > 0 ? static_cast<double>(window) / static_cast<double>(vis)
+                         : static_cast<double>(window);
+  }
+  result.max_gap = worst;
+  result.mean_gap = total_gap / n;
+  result.min_visits = min_visits;
+  return result;
+}
+
+}  // namespace rr::core

@@ -1,0 +1,57 @@
+#pragma once
+
+// Cover-time and return-time runners (S8).
+//
+// Cover time C(R[k]): first round after which every node has been visited.
+// Return time (Sec. 4): once the (finite, deterministic) system has entered
+// its limit cycle, the longest interval during which some node stays
+// unvisited; Thm 6 shows it is Theta(n/k) on the ring. For large instances
+// we measure it as the max inter-visit gap over a measurement window after
+// a warm-up; for small instances `limit_cycle.hpp` computes it exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ring_rotor_router.hpp"
+#include "core/rotor_router.hpp"
+#include "graph/graph.hpp"
+
+namespace rr::core {
+
+/// A complete ring initialization: n, agent multiset, pointer vector.
+struct RingConfig {
+  NodeId n = 0;
+  std::vector<NodeId> agents;
+  std::vector<std::uint8_t> pointers;  // empty = all clockwise
+
+  RingRotorRouter make() const { return RingRotorRouter(n, agents, pointers); }
+};
+
+/// Cover time of the ring rotor-router; `max_rounds` 0 selects a safe
+/// automatic cap of ~8*n^2 + 64n (comfortably above the Theta(n^2) single-
+/// agent worst case). Returns kRingNotCovered if the cap is hit.
+std::uint64_t ring_cover_time(const RingConfig& config,
+                              std::uint64_t max_rounds = 0);
+
+/// Cover time on a general graph (cap 0 -> ~4*D*|E| + 64|E|, above the
+/// Theta(D|E|) bound of Yanovski et al. / Bampas et al.).
+std::uint64_t graph_cover_time(const graph::Graph& g,
+                               const std::vector<NodeId>& agents,
+                               std::vector<std::uint32_t> pointers = {},
+                               std::uint64_t max_rounds = 0);
+
+struct ReturnTimeResult {
+  std::uint64_t max_gap = 0;    ///< max inter-visit gap over the window
+  double mean_gap = 0.0;        ///< window / mean visits per node
+  std::uint64_t min_visits = 0; ///< min visits of any node in the window
+  bool covered = true;          ///< warm-up reached full coverage
+};
+
+/// Measures return time on the ring: run `warmup` rounds (0 = automatic:
+/// cover + 4 n^2 / k extra rounds for domain stabilization), then record max
+/// per-node inter-visit gaps over `window` rounds (0 = automatic: 8n/k + 64).
+ReturnTimeResult ring_return_time(const RingConfig& config,
+                                  std::uint64_t warmup = 0,
+                                  std::uint64_t window = 0);
+
+}  // namespace rr::core

@@ -1,0 +1,93 @@
+#pragma once
+
+// Delayed deployments (S5, paper Sec. 2.1).
+//
+// A delayed deployment D assigns to every (node, round) the number D(v,t)
+// of agents held at v during round t. Both engines accept a delay functor
+// per round (`step_delayed`); this header provides the reusable schedules
+// the paper's proofs rely on, plus a tracker for the slow-down lemma
+// (Lemma 3): tau <= C(R[k]) <= T where tau counts fully-active rounds.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/ring_rotor_router.hpp"
+
+namespace rr::core {
+
+/// D(v,t) = 0: the undelayed deployment R[k].
+struct NoDelay {
+  std::uint32_t operator()(NodeId, std::uint64_t, std::uint32_t) const {
+    return 0;
+  }
+};
+
+/// Holds every agent at the listed nodes (permanently stopped agents, as in
+/// the Thm 2 and Thm 4 constructions).
+class HoldAtNodes {
+ public:
+  explicit HoldAtNodes(std::vector<NodeId> nodes)
+      : held_(nodes.begin(), nodes.end()) {}
+
+  std::uint32_t operator()(NodeId v, std::uint64_t, std::uint32_t present) const {
+    return held_.contains(v) ? present : 0;
+  }
+
+  void release(NodeId v) { held_.erase(v); }
+  void hold(NodeId v) { held_.insert(v); }
+  bool holds(NodeId v) const { return held_.contains(v); }
+
+ private:
+  std::unordered_set<NodeId> held_;
+};
+
+/// Holds all but `released` agents at node v0 (the release-one-by-one
+/// pattern of Phase A in Thm 1): at v0, `present - released_budget` agents
+/// are held; elsewhere nothing is held.
+class ReleaseFromSource {
+ public:
+  ReleaseFromSource(NodeId source, std::uint32_t released)
+      : source_(source), released_(released) {}
+
+  std::uint32_t operator()(NodeId v, std::uint64_t, std::uint32_t present) const {
+    if (v != source_) return 0;
+    return present > released_ ? present - released_ : 0;
+  }
+
+  void set_released(std::uint32_t r) { released_ = r; }
+
+ private:
+  NodeId source_;
+  std::uint32_t released_;
+};
+
+/// Runs a delayed deployment while tracking the quantities of Lemma 3:
+/// T (rounds elapsed) and tau (rounds in which no agent was delayed).
+class SlowdownTracker {
+ public:
+  /// `delay(v,t,present)` as for step_delayed. Advances `rr` by one round
+  /// and records whether the round was fully active.
+  template <typename DelayFn>
+  void step(RingRotorRouter& rr, DelayFn&& delay) {
+    bool any_delayed = false;
+    rr.step_delayed([&](NodeId v, std::uint64_t t, std::uint32_t present) {
+      std::uint32_t d = delay(v, t, present);
+      if (d > present) d = present;
+      if (d > 0) any_delayed = true;
+      return d;
+    });
+    ++total_rounds_;
+    if (!any_delayed) ++active_rounds_;
+  }
+
+  std::uint64_t total_rounds() const { return total_rounds_; }    ///< T
+  std::uint64_t active_rounds() const { return active_rounds_; }  ///< tau
+
+ private:
+  std::uint64_t total_rounds_ = 0;
+  std::uint64_t active_rounds_ = 0;
+};
+
+}  // namespace rr::core

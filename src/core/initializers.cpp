@@ -1,0 +1,189 @@
+#include "core/initializers.hpp"
+
+#include <algorithm>
+
+namespace rr::core {
+
+std::vector<NodeId> place_all_on_one(std::uint32_t k, NodeId v0) {
+  RR_REQUIRE(k >= 1, "k must be positive");
+  return std::vector<NodeId>(k, v0);
+}
+
+std::vector<NodeId> place_equally_spaced(NodeId n, std::uint32_t k,
+                                         NodeId offset) {
+  RR_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n for equal spacing");
+  std::vector<NodeId> agents(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    agents[i] = static_cast<NodeId>(
+        (offset + static_cast<std::uint64_t>(i) * n / k) % n);
+  }
+  return agents;
+}
+
+std::vector<NodeId> place_random(NodeId n, std::uint32_t k, Rng& rng) {
+  RR_REQUIRE(k >= 1, "k must be positive");
+  std::vector<NodeId> agents(k);
+  for (auto& a : agents) a = rng.bounded(n);
+  return agents;
+}
+
+std::vector<NodeId> place_clustered(NodeId n, std::uint32_t k, NodeId center,
+                                    NodeId spread, Rng& rng) {
+  RR_REQUIRE(k >= 1, "k must be positive");
+  std::vector<NodeId> agents(k);
+  for (auto& a : agents) {
+    const std::uint32_t d = rng.bounded(2 * spread + 1);
+    a = static_cast<NodeId>((center + n + d - spread) % n);
+  }
+  return agents;
+}
+
+std::vector<std::uint8_t> pointers_uniform(NodeId n, std::uint8_t dir) {
+  RR_REQUIRE(dir <= 1, "dir must be 0 (cw) or 1 (acw)");
+  return std::vector<std::uint8_t>(n, dir);
+}
+
+std::vector<std::uint8_t> pointers_random(NodeId n, Rng& rng) {
+  std::vector<std::uint8_t> p(n);
+  for (NodeId v = 0; v < n; v += 64) {
+    std::uint64_t bits = rng();
+    for (NodeId i = v; i < std::min<NodeId>(v + 64, n); ++i) {
+      p[i] = bits & 1;
+      bits >>= 1;
+    }
+  }
+  return p;
+}
+
+std::vector<std::uint8_t> pointers_toward(NodeId n, NodeId target) {
+  RR_REQUIRE(target < n, "target out of range");
+  std::vector<std::uint8_t> p(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId cw_dist = (target + n - v) % n;   // steps v -> target clockwise
+    const NodeId acw_dist = (v + n - target) % n;  // steps v -> target anticlockwise
+    p[v] = (cw_dist <= acw_dist) ? kClockwise : kAnticlockwise;
+  }
+  return p;
+}
+
+std::vector<std::uint8_t> pointers_negative(NodeId n,
+                                            const std::vector<NodeId>& agents) {
+  RR_REQUIRE(!agents.empty(), "need at least one agent");
+  // Distance to nearest agent in each direction via two sweeps.
+  constexpr NodeId kInf = ~NodeId{0};
+  std::vector<NodeId> dist_cw(n, kInf), dist_acw(n, kInf);  // toward agent
+  std::vector<bool> host(n, false);
+  for (NodeId a : agents) {
+    RR_REQUIRE(a < n, "agent out of range");
+    host[a] = true;
+  }
+  // dist_acw[v]: clockwise distance from v to the nearest agent reached by
+  // walking clockwise; dist_cw[v]: distance walking anticlockwise.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (NodeId i = 0; i < n; ++i) {
+      const NodeId v = n - 1 - i;  // sweep downward for clockwise targets
+      const NodeId next = (v + 1) % n;
+      if (host[v]) {
+        dist_acw[v] = 0;
+      } else if (dist_acw[next] != kInf) {
+        dist_acw[v] = dist_acw[next] + 1;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId prev = (v + n - 1) % n;
+      if (host[v]) {
+        dist_cw[v] = 0;
+      } else if (dist_cw[prev] != kInf) {
+        dist_cw[v] = dist_cw[prev] + 1;
+      }
+    }
+  }
+  std::vector<std::uint8_t> p(n);
+  for (NodeId v = 0; v < n; ++v) {
+    // Point toward the closer agent: clockwise walk reaches an agent in
+    // dist_acw[v] steps (pointer clockwise), anticlockwise in dist_cw[v].
+    p[v] = (dist_acw[v] <= dist_cw[v]) ? kClockwise : kAnticlockwise;
+  }
+  return p;
+}
+
+bool is_remote_vertex(NodeId n, const std::vector<NodeId>& agents, NodeId v) {
+  const std::uint32_t k = static_cast<std::uint32_t>(agents.size());
+  RR_REQUIRE(k >= 1, "need at least one agent");
+  const double seg = static_cast<double>(n) / (10.0 * k);
+  // Sorted clockwise offsets of agents relative to v.
+  std::vector<NodeId> cw_off, acw_off;
+  cw_off.reserve(k);
+  acw_off.reserve(k);
+  for (NodeId a : agents) {
+    cw_off.push_back((a + n - v) % n);
+    acw_off.push_back((v + n - a) % n);
+  }
+  std::sort(cw_off.begin(), cw_off.end());
+  std::sort(acw_off.begin(), acw_off.end());
+  for (std::uint32_t r = 1; r <= k; ++r) {
+    const double reach = r * seg;
+    const auto in_cw = std::upper_bound(cw_off.begin(), cw_off.end(),
+                                        static_cast<NodeId>(reach)) -
+                       cw_off.begin();
+    const auto in_acw = std::upper_bound(acw_off.begin(), acw_off.end(),
+                                         static_cast<NodeId>(reach)) -
+                        acw_off.begin();
+    if (in_cw > static_cast<std::ptrdiff_t>(r) ||
+        in_acw > static_cast<std::ptrdiff_t>(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+NodeId count_remote_vertices(NodeId n, const std::vector<NodeId>& agents) {
+  NodeId count = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_remote_vertex(n, agents, v)) ++count;
+  }
+  return count;
+}
+
+RemoteAdversary adversarial_remote_init(NodeId n,
+                                        const std::vector<NodeId>& agents) {
+  // Pick the remote vertex farthest from any agent (the Thm 4 proof wants
+  // distance >= ~n/(9k); maximizing distance is the strongest choice).
+  const std::uint32_t k = static_cast<std::uint32_t>(agents.size());
+  std::vector<bool> host(n, false);
+  for (NodeId a : agents) host[a] = true;
+
+  // distance to nearest agent (either direction) for all v, by BFS-style
+  // two-directional sweep.
+  std::vector<NodeId> dist(n, ~NodeId{0});
+  for (NodeId a : agents) dist[a] = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (NodeId i = 0; i < 2 * n; ++i) {
+      const NodeId v = i % n;
+      const NodeId prev = (v + n - 1) % n;
+      if (dist[prev] != ~NodeId{0}) dist[v] = std::min(dist[v], dist[prev] + 1);
+    }
+    for (NodeId i = 2 * n; i-- > 0;) {
+      const NodeId v = i % n;
+      const NodeId next = (v + 1) % n;
+      if (dist[next] != ~NodeId{0}) dist[v] = std::min(dist[v], dist[next] + 1);
+    }
+  }
+
+  RemoteAdversary result;
+  result.found = false;
+  result.remote_vertex = 0;
+  NodeId best_dist = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (dist[v] >= best_dist && is_remote_vertex(n, agents, v)) {
+      best_dist = dist[v];
+      result.remote_vertex = v;
+      result.found = true;
+    }
+  }
+  (void)k;
+  result.pointers = pointers_negative(n, agents);
+  return result;
+}
+
+}  // namespace rr::core

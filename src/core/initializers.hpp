@@ -1,0 +1,77 @@
+#pragma once
+
+// Agent placements and pointer arrangements on the ring (S7).
+//
+// The paper's bounds are parameterized by the initial placement of the k
+// agents (best case: equally spaced, Thm 3; worst case: all on one node,
+// Thm 1) and by the adversary's initial pointers (e.g. "all pointers
+// initialized along the shortest path to v" for Thm 1; "negative"
+// initialization, which sends the first visitor of a virgin node back where
+// it came from, for Thm 4 and Sec. 2.2/2.3).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ring_rotor_router.hpp"
+
+namespace rr::core {
+
+// ---- agent placements ----
+
+/// k agents all on node v0 (worst-case placement of Thm 1).
+std::vector<NodeId> place_all_on_one(std::uint32_t k, NodeId v0);
+
+/// k agents at offsets round(i*n/k) (best-case placement of Thm 3); gaps
+/// between consecutive agents are at most ceil(n/k).
+std::vector<NodeId> place_equally_spaced(NodeId n, std::uint32_t k,
+                                         NodeId offset = 0);
+
+/// k agents placed uniformly at random (with repetition).
+std::vector<NodeId> place_random(NodeId n, std::uint32_t k, Rng& rng);
+
+/// k agents in a contiguous block [center - spread, center + spread].
+std::vector<NodeId> place_clustered(NodeId n, std::uint32_t k, NodeId center,
+                                    NodeId spread, Rng& rng);
+
+// ---- pointer arrangements (0 = clockwise, 1 = anticlockwise) ----
+
+/// All pointers in one direction.
+std::vector<std::uint8_t> pointers_uniform(NodeId n, std::uint8_t dir);
+
+/// Independent fair-coin pointers.
+std::vector<std::uint8_t> pointers_random(NodeId n, Rng& rng);
+
+/// Every pointer along the shortest path toward `target` (ties broken
+/// clockwise): the Thm 1 worst-case arrangement when all agents start at
+/// `target` — the first visit to any node sends the agent straight back.
+std::vector<std::uint8_t> pointers_toward(NodeId n, NodeId target);
+
+/// Negative initialization w.r.t. a placement: each node's pointer points
+/// toward its nearest agent (ties broken clockwise), so an agent's first
+/// visit to a virgin node reflects it back toward where it came from
+/// (Sec. 2.2: "during the first visit to any vertex by some agent, this
+/// agent is directed back to its previous location").
+std::vector<std::uint8_t> pointers_negative(NodeId n,
+                                            const std::vector<NodeId>& agents);
+
+/// The Thm 4 adversary: given any placement, finds a *remote vertex*
+/// (Definition 2) at distance >= n/(10k)-ish from every agent and arranges
+/// pointers negatively, forcing cover time Omega((n/k)^2). Returns the
+/// pointer vector and the chosen remote vertex.
+struct RemoteAdversary {
+  std::vector<std::uint8_t> pointers;
+  NodeId remote_vertex;
+  bool found;  ///< false if no vertex satisfying Definition 2 exists
+};
+RemoteAdversary adversarial_remote_init(NodeId n,
+                                        const std::vector<NodeId>& agents);
+
+/// Checks Definition 2 (remote vertex): for all 1 <= r <= k, the segments
+/// [v, v +- r*n/(10k)] contain at most r starting positions each.
+bool is_remote_vertex(NodeId n, const std::vector<NodeId>& agents, NodeId v);
+
+/// Count of remote vertices (for the Lemma 15 bound: >= 0.8n - o(n)).
+NodeId count_remote_vertices(NodeId n, const std::vector<NodeId>& agents);
+
+}  // namespace rr::core

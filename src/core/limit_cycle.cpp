@@ -1,0 +1,185 @@
+#include "core/limit_cycle.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rr::core {
+
+namespace {
+
+struct Snapshot {
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint8_t> pointers;
+
+  static Snapshot of(const RingRotorRouter& rr) {
+    Snapshot s;
+    const NodeId n = rr.num_nodes();
+    s.counts.resize(n);
+    s.pointers.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      s.counts[v] = rr.agents_at(v);
+      s.pointers[v] = rr.pointer(v);
+    }
+    return s;
+  }
+
+  bool matches(const RingRotorRouter& rr) const {
+    const NodeId n = rr.num_nodes();
+    for (NodeId v = 0; v < n; ++v) {
+      if (rr.agents_at(v) != counts[v] || rr.pointer(v) != pointers[v]) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<LimitCycle> detect_limit_cycle(const RingConfig& config,
+                                             std::uint64_t max_steps) {
+  // Brent's algorithm: the tortoise is a stored snapshot, the hare is the
+  // live engine advancing one round at a time.
+  RingRotorRouter hare = config.make();
+  Snapshot tortoise = Snapshot::of(hare);
+  std::uint64_t power = 1, lam = 0;
+  while (hare.time() < max_steps) {
+    if (lam == power) {
+      tortoise = Snapshot::of(hare);
+      power *= 2;
+      lam = 0;
+    }
+    hare.step();
+    ++lam;
+    if (tortoise.matches(hare)) {
+      return LimitCycle{lam, hare.time()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ExactReturnTime> exact_return_time(const RingConfig& config,
+                                                 std::uint64_t max_steps) {
+  // Re-run Brent keeping the live engine, then traverse one full period
+  // recording visit times.
+  RingRotorRouter rr = config.make();
+  Snapshot tortoise = Snapshot::of(rr);
+  std::uint64_t power = 1, lam = 0;
+  bool found = false;
+  while (rr.time() < max_steps) {
+    if (lam == power) {
+      tortoise = Snapshot::of(rr);
+      power *= 2;
+      lam = 0;
+    }
+    rr.step();
+    ++lam;
+    if (tortoise.matches(rr)) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) return std::nullopt;
+
+  const std::uint64_t period = lam;
+  const NodeId n = rr.num_nodes();
+  constexpr std::uint64_t kNever = ~std::uint64_t{0};
+  std::vector<std::uint64_t> first(n, kNever), last(n, kNever), gap(n, 0);
+  const std::uint64_t t0 = rr.time();
+  // Nodes currently hosting agents count as visited at offset 0 (an agent
+  // is present, so the node is trivially "just visited" on the cycle).
+  for (NodeId v : rr.occupied_nodes()) {
+    first[v] = 0;
+    last[v] = 0;
+  }
+  for (std::uint64_t i = 1; i <= period; ++i) {
+    rr.step();
+    for (NodeId v : rr.occupied_nodes()) {
+      if (rr.last_visit_time(v) != rr.time()) continue;
+      if (first[v] == kNever) {
+        first[v] = i;
+      } else {
+        gap[v] = std::max(gap[v], i - last[v]);
+      }
+      last[v] = i;
+    }
+  }
+  (void)t0;
+  ExactReturnTime result;
+  result.period = period;
+  std::uint64_t max_gap = 0;
+  std::uint64_t min_gap = ~std::uint64_t{0};
+  for (NodeId v = 0; v < n; ++v) {
+    if (first[v] == kNever) return std::nullopt;  // node starves: not covered
+    const std::uint64_t wrap = first[v] + period - last[v];
+    const std::uint64_t g = std::max(gap[v], wrap);
+    max_gap = std::max(max_gap, g);
+    min_gap = std::min(min_gap, g);
+  }
+  result.max_gap = max_gap;
+  result.min_gap = min_gap;
+  return result;
+}
+
+LockInResult single_agent_lock_in(const graph::Graph& g, graph::NodeId start,
+                                  std::vector<std::uint32_t> pointers,
+                                  std::uint64_t max_steps) {
+  using graph::NodeId;
+  RR_REQUIRE(g.is_connected(), "lock-in requires a connected graph");
+  RR_REQUIRE(start < g.num_nodes(), "start out of range");
+  const std::size_t m2 = g.num_arcs();
+  if (max_steps == 0) {
+    max_steps = 4ULL * g.diameter() * g.num_edges() + 4ULL * m2 + 64;
+  }
+
+  // Arc ids: offset[v] + port.
+  std::vector<std::size_t> offset(g.num_nodes() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    offset[v + 1] = offset[v] + g.degree(v);
+  }
+
+  std::vector<std::uint32_t> ptr;
+  if (pointers.empty()) {
+    ptr.assign(g.num_nodes(), 0);
+  } else {
+    RR_REQUIRE(pointers.size() == g.num_nodes(), "pointer size mismatch");
+    ptr = std::move(pointers);
+  }
+
+  // Sliding window of the last 2|E| traversed arcs; lock-in when all
+  // distinct (each arc exactly once).
+  std::vector<std::uint32_t> in_window(m2, 0);
+  std::vector<std::size_t> window(m2, 0);
+  std::size_t head = 0, filled = 0, distinct = 0;
+
+  LockInResult result;
+  NodeId pos = start;
+  for (std::uint64_t t = 1; t <= max_steps; ++t) {
+    const std::uint32_t p = ptr[pos];
+    const std::size_t arc = offset[pos] + p;
+    const NodeId nxt = g.neighbor(pos, p);
+    ptr[pos] = (p + 1 == g.degree(pos)) ? 0 : p + 1;
+    pos = nxt;
+
+    if (filled == m2) {
+      const std::size_t old = window[head];
+      if (--in_window[old] == 0) --distinct;
+    } else {
+      ++filled;
+    }
+    window[head] = arc;
+    if (++in_window[arc] == 1) ++distinct;
+    head = (head + 1 == m2) ? 0 : head + 1;
+
+    if (filled == m2 && distinct == m2) {
+      result.locked_in = true;
+      result.lock_in_time = t - m2 + 1;
+      result.steps_simulated = t;
+      return result;
+    }
+  }
+  result.steps_simulated = max_steps;
+  return result;
+}
+
+}  // namespace rr::core

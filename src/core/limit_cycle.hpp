@@ -1,0 +1,60 @@
+#pragma once
+
+// Limit-cycle detection and exact return time (S8, paper Sec. 4).
+//
+// The rotor-router is a deterministic finite-state system: it must enter a
+// cycle of configurations (pointers + agent multiset). For instances small
+// enough to snapshot, Brent's algorithm finds the period and a bound on the
+// pre-period, and one extra traversal of the cycle yields the *exact*
+// return time: max over nodes of the longest (cyclic) inter-visit gap.
+//
+// Also here: the single-agent Eulerian lock-in detector used to validate
+// the Yanovski et al. substrate result (lock-in within 2 D |E| rounds, each
+// arc then traversed exactly once per 2|E| rounds).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cover_time.hpp"
+#include "core/ring_rotor_router.hpp"
+#include "graph/graph.hpp"
+
+namespace rr::core {
+
+struct LimitCycle {
+  std::uint64_t period = 0;
+  /// A time at which the system is provably inside the cycle.
+  std::uint64_t in_cycle_time = 0;
+};
+
+/// Brent cycle detection on full configurations of the ring rotor-router.
+/// Returns nullopt if no cycle is confirmed within `max_steps`.
+std::optional<LimitCycle> detect_limit_cycle(const RingConfig& config,
+                                             std::uint64_t max_steps);
+
+struct ExactReturnTime {
+  std::uint64_t period = 0;
+  std::uint64_t max_gap = 0;   ///< the paper's return time
+  std::uint64_t min_gap = 0;   ///< min over nodes of their max gap
+};
+
+/// Exact return time on the limit cycle (small instances only). Requires
+/// every node to be visited at least once per period (true after coverage).
+std::optional<ExactReturnTime> exact_return_time(const RingConfig& config,
+                                                 std::uint64_t max_steps);
+
+struct LockInResult {
+  bool locked_in = false;
+  std::uint64_t lock_in_time = 0;  ///< first round of a fully-Eulerian window
+  std::uint64_t steps_simulated = 0;
+};
+
+/// Runs a single agent from `start` on `g` and finds the first round t0
+/// such that rounds [t0, t0 + 2|E|) traverse every arc exactly once (the
+/// agent has established its Eulerian cycle).
+LockInResult single_agent_lock_in(const graph::Graph& g, graph::NodeId start,
+                                  std::vector<std::uint32_t> pointers = {},
+                                  std::uint64_t max_steps = 0);
+
+}  // namespace rr::core

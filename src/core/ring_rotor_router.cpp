@@ -1,0 +1,138 @@
+#include "core/ring_rotor_router.hpp"
+
+#include <algorithm>
+
+namespace rr::core {
+
+RingRotorRouter::RingRotorRouter(NodeId n, const std::vector<NodeId>& agents,
+                                 std::vector<std::uint8_t> pointers)
+    : n_(n),
+      num_agents_(static_cast<std::uint32_t>(agents.size())),
+      counts_(n, 0),
+      arrive_cw_(n, 0),
+      arrive_acw_(n, 0),
+      travel_dir_(n, kClockwise),
+      last_arrival_count_(n, 0),
+      last_single_prop_(n, 0),
+      visits_(n, 0),
+      exits_(n, 0),
+      first_visit_(n, kRingNotCovered),
+      last_visit_(n, 0) {
+  RR_REQUIRE(n >= 3, "ring requires n >= 3");
+  RR_REQUIRE(!agents.empty(), "at least one agent required");
+  if (pointers.empty()) {
+    pointers_.assign(n, kClockwise);
+  } else {
+    RR_REQUIRE(pointers.size() == n, "pointer vector size mismatch");
+    for (std::uint8_t p : pointers) {
+      RR_REQUIRE(p <= 1, "ring pointer must be 0 (cw) or 1 (acw)");
+    }
+    pointers_ = std::move(pointers);
+  }
+  for (NodeId v : agents) {
+    RR_REQUIRE(v < n, "agent start node out of range");
+    if (counts_[v] == 0) occupied_.push_back(v);
+    ++counts_[v];
+    ++visits_[v];
+  }
+  for (NodeId v : occupied_) {
+    first_visit_[v] = 0;
+    ++covered_;
+    last_arrival_count_[v] = counts_[v];
+  }
+}
+
+void RingRotorRouter::depart(NodeId v, std::uint32_t moving) {
+  const std::uint8_t ptr = pointers_[v];
+  // `moving` agents leave along alternating ports starting at `ptr`:
+  // ceil(moving/2) through ptr's direction, floor(moving/2) the other way.
+  const std::uint32_t via_ptr = (moving + 1) / 2;
+  const std::uint32_t via_other = moving - via_ptr;
+  const std::uint32_t cw_out = (ptr == kClockwise) ? via_ptr : via_other;
+  const std::uint32_t acw_out = moving - cw_out;
+  if (cw_out > 0) arrive(clockwise(v), cw_out, kClockwise);
+  if (acw_out > 0) arrive(anticlockwise(v), acw_out, kAnticlockwise);
+  pointers_[v] = static_cast<std::uint8_t>((ptr + moving) & 1);
+  exits_[v] += moving;
+
+  // Classify the visit that just completed at v (Definition 1): it counts
+  // toward a lazy domain only if exactly one agent was involved and the
+  // departure continued in the arrival's travel direction (propagation).
+  if (moving == 1 && last_arrival_count_[v] == 1) {
+    const std::uint8_t dep_dir = ptr;  // the port the single agent took
+    last_single_prop_[v] = (dep_dir == travel_dir_[v]);
+  } else {
+    last_single_prop_[v] = 0;
+  }
+}
+
+void RingRotorRouter::arrive(NodeId u, std::uint32_t count,
+                             std::uint8_t travel_dir) {
+  if (arrive_cw_[u] == 0 && arrive_acw_[u] == 0) touched_.push_back(u);
+  if (travel_dir == kClockwise) {
+    arrive_cw_[u] += count;
+  } else {
+    arrive_acw_[u] += count;
+  }
+}
+
+void RingRotorRouter::commit_arrivals() {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    if (counts_[occupied_[i]] > 0) occupied_[w++] = occupied_[i];
+  }
+  occupied_.resize(w);
+  for (NodeId u : touched_) {
+    const std::uint32_t cw = arrive_cw_[u];
+    const std::uint32_t acw = arrive_acw_[u];
+    const std::uint32_t a = cw + acw;
+    arrive_cw_[u] = 0;
+    arrive_acw_[u] = 0;
+    if (a == 0) continue;
+    if (counts_[u] == 0) occupied_.push_back(u);
+    counts_[u] += a;
+    visits_[u] += a;
+    last_visit_[u] = time_;
+    last_arrival_count_[u] = a;
+    if (a == 1) travel_dir_[u] = (cw == 1) ? kClockwise : kAnticlockwise;
+    if (first_visit_[u] == kRingNotCovered) {
+      first_visit_[u] = time_;
+      ++covered_;
+    }
+  }
+  touched_.clear();
+}
+
+std::uint64_t RingRotorRouter::run_until_covered(std::uint64_t max_rounds) {
+  if (all_covered()) return 0;
+  while (time_ < max_rounds) {
+    step();
+    if (all_covered()) return time_;
+  }
+  return kRingNotCovered;
+}
+
+std::vector<NodeId> RingRotorRouter::agent_positions() const {
+  std::vector<NodeId> pos;
+  pos.reserve(num_agents_);
+  for (NodeId v : occupied_) {
+    for (std::uint32_t i = 0; i < counts_[v]; ++i) pos.push_back(v);
+  }
+  std::sort(pos.begin(), pos.end());
+  return pos;
+}
+
+std::uint64_t RingRotorRouter::config_hash() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  for (NodeId v = 0; v < n_; ++v) {
+    mix(pointers_[v]);
+    mix(counts_[v]);
+  }
+  return h;
+}
+
+}  // namespace rr::core

@@ -1,0 +1,130 @@
+#pragma once
+
+// Ring-specialized multi-agent rotor-router engine (S4).
+//
+// Semantically identical to RotorRouter on graph::ring(n) (property tests
+// assert lockstep equality), but a round costs O(#occupied nodes) instead of
+// touching graph adjacency, and the engine tracks the extra per-node state
+// the paper's ring analysis needs:
+//   - the travel direction of the last single arrival (to classify visits as
+//     propagation vs reflection, Sec. 2.2),
+//   - whether the last completed visit was a single-agent propagation (the
+//     membership test of lazy domains, Definition 1).
+//
+// Port convention: pointer 0 = clockwise (v -> v+1 mod n), pointer 1 =
+// anticlockwise (v -> v-1 mod n). This matches graph::ring(n).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace rr::core {
+
+using NodeId = std::uint32_t;
+
+inline constexpr std::uint8_t kClockwise = 0;
+inline constexpr std::uint8_t kAnticlockwise = 1;
+
+constexpr std::uint64_t kRingNotCovered = ~std::uint64_t{0};
+
+class RingRotorRouter {
+ public:
+  /// `agents`: multiset of starting nodes; `pointers`: per-node initial
+  /// pointer (0 = clockwise, 1 = anticlockwise), empty means all clockwise.
+  RingRotorRouter(NodeId n, const std::vector<NodeId>& agents,
+                  std::vector<std::uint8_t> pointers = {});
+
+  void step() {
+    step_delayed([](NodeId, std::uint64_t, std::uint32_t) { return 0u; });
+  }
+
+  /// One delayed round; `delay(v, t, present)` -> agents held at v (Sec 2.1).
+  template <typename DelayFn>
+  void step_delayed(DelayFn&& delay) {
+    ++time_;
+    const std::size_t occupied_before = occupied_.size();
+    for (std::size_t idx = 0; idx < occupied_before; ++idx) {
+      const NodeId v = occupied_[idx];
+      const std::uint32_t present = counts_[v];
+      if (present == 0) continue;
+      std::uint32_t held = delay(v, time_, present);
+      if (held > present) held = present;
+      const std::uint32_t moving = present - held;
+      if (moving == 0) continue;
+      depart(v, moving);
+      counts_[v] = held;
+    }
+    commit_arrivals();
+  }
+
+  void run(std::uint64_t rounds) {
+    for (std::uint64_t i = 0; i < rounds; ++i) step();
+  }
+
+  /// Runs until full coverage; returns cover time (absolute round) or
+  /// kRingNotCovered if `max_rounds` (absolute cap) elapsed first.
+  std::uint64_t run_until_covered(std::uint64_t max_rounds);
+
+  NodeId num_nodes() const { return n_; }
+  std::uint64_t time() const { return time_; }
+  std::uint32_t num_agents() const { return num_agents_; }
+
+  std::uint32_t agents_at(NodeId v) const { return counts_[v]; }
+  std::uint8_t pointer(NodeId v) const { return pointers_[v]; }
+  const std::vector<NodeId>& occupied_nodes() const { return occupied_; }
+
+  std::uint64_t visits(NodeId v) const { return visits_[v]; }
+  std::uint64_t exits(NodeId v) const { return exits_[v]; }
+  std::uint64_t first_visit_time(NodeId v) const { return first_visit_[v]; }
+  std::uint64_t last_visit_time(NodeId v) const { return last_visit_[v]; }
+  bool visited(NodeId v) const { return first_visit_[v] != kRingNotCovered; }
+
+  NodeId covered_count() const { return covered_; }
+  bool all_covered() const { return covered_ == n_; }
+
+  /// True iff the last *completed* visit to v (arrival followed by
+  /// departure) was by a single agent and was a propagation (Definition 1).
+  bool last_visit_single_propagation(NodeId v) const {
+    return last_single_prop_[v];
+  }
+
+  std::vector<NodeId> agent_positions() const;
+  std::uint64_t config_hash() const;
+
+  NodeId clockwise(NodeId v) const { return v + 1 == n_ ? 0 : v + 1; }
+  NodeId anticlockwise(NodeId v) const { return v == 0 ? n_ - 1 : v - 1; }
+
+ private:
+  void depart(NodeId v, std::uint32_t moving);
+  void commit_arrivals();
+  void arrive(NodeId u, std::uint32_t count, std::uint8_t travel_dir);
+
+  NodeId n_;
+  std::uint32_t num_agents_;
+  std::uint64_t time_ = 0;
+  NodeId covered_ = 0;
+
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint8_t> pointers_;
+  std::vector<NodeId> occupied_;
+
+  // Arrival accumulation for the current round, split by travel direction:
+  // arrive_cw_[v] agents entered v moving clockwise (i.e. from v-1).
+  std::vector<std::uint32_t> arrive_cw_;
+  std::vector<std::uint32_t> arrive_acw_;
+  std::vector<NodeId> touched_;
+
+  // Visit classification state (Sec. 2.2): valid when the last arrival at v
+  // was by exactly one agent.
+  std::vector<std::uint8_t> travel_dir_;
+  std::vector<std::uint32_t> last_arrival_count_;
+  std::vector<std::uint8_t> last_single_prop_;
+
+  std::vector<std::uint64_t> visits_;
+  std::vector<std::uint64_t> exits_;
+  std::vector<std::uint64_t> first_visit_;
+  std::vector<std::uint64_t> last_visit_;
+};
+
+}  // namespace rr::core

@@ -1,0 +1,101 @@
+#include "core/rotor_router.hpp"
+
+#include <algorithm>
+
+namespace rr::core {
+
+RotorRouter::RotorRouter(const Graph& g, const std::vector<NodeId>& agents,
+                         std::vector<std::uint32_t> pointers)
+    : graph_(&g),
+      num_agents_(static_cast<std::uint32_t>(agents.size())),
+      counts_(g.num_nodes(), 0),
+      arrivals_(g.num_nodes(), 0),
+      visits_(g.num_nodes(), 0),
+      exits_(g.num_nodes(), 0),
+      first_visit_(g.num_nodes(), kNotCovered),
+      last_visit_(g.num_nodes(), 0) {
+  RR_REQUIRE(!agents.empty(), "at least one agent required");
+  RR_REQUIRE(g.is_connected(), "rotor-router requires a connected graph");
+  if (pointers.empty()) {
+    pointers_.assign(g.num_nodes(), 0);
+  } else {
+    RR_REQUIRE(pointers.size() == g.num_nodes(), "pointer vector size mismatch");
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      RR_REQUIRE(pointers[v] < g.degree(v), "pointer out of range");
+    }
+    pointers_ = std::move(pointers);
+  }
+  initial_pointers_ = pointers_;
+  for (NodeId v : agents) {
+    RR_REQUIRE(v < g.num_nodes(), "agent start node out of range");
+    if (counts_[v] == 0) occupied_.push_back(v);
+    ++counts_[v];
+    ++visits_[v];  // n_v(0) counts initially placed agents
+  }
+  for (NodeId v : occupied_) {
+    first_visit_[v] = 0;
+    ++covered_;
+  }
+}
+
+void RotorRouter::commit_arrivals() {
+  // Drop stale entries (nodes fully vacated this round) and add newly
+  // occupied nodes; `counts_ > 0` is the membership invariant.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    if (counts_[occupied_[i]] > 0) occupied_[w++] = occupied_[i];
+  }
+  occupied_.resize(w);
+  for (NodeId u : touched_) {
+    const std::uint32_t a = arrivals_[u];
+    if (a == 0) continue;  // duplicate touch already committed
+    arrivals_[u] = 0;
+    if (counts_[u] == 0) occupied_.push_back(u);
+    counts_[u] += a;
+    visits_[u] += a;
+    last_visit_[u] = time_;
+    if (first_visit_[u] == kNotCovered) {
+      first_visit_[u] = time_;
+      ++covered_;
+    }
+  }
+  touched_.clear();
+}
+
+std::uint64_t RotorRouter::run_until_covered(std::uint64_t max_rounds) {
+  if (all_covered()) return 0;
+  std::uint64_t cover_time = kNotCovered;
+  while (time_ < max_rounds) {
+    step();
+    if (all_covered()) {
+      cover_time = time_;
+      break;
+    }
+  }
+  return cover_time;
+}
+
+std::vector<NodeId> RotorRouter::agent_positions() const {
+  std::vector<NodeId> pos;
+  pos.reserve(num_agents_);
+  for (NodeId v : occupied_) {
+    for (std::uint32_t i = 0; i < counts_[v]; ++i) pos.push_back(v);
+  }
+  std::sort(pos.begin(), pos.end());
+  return pos;
+}
+
+std::uint64_t RotorRouter::config_hash() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    mix(pointers_[v]);
+    mix(counts_[v]);
+  }
+  return h;
+}
+
+}  // namespace rr::core

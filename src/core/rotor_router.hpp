@@ -1,0 +1,146 @@
+#pragma once
+
+// General-graph multi-agent rotor-router engine (S3).
+//
+// Direct transliteration of the model in paper Sec. 1.3. A configuration is
+// ((rho_v), (pi_v), {r_1..r_k}): rho_v is the cyclic port order (owned by the
+// Graph), pi_v the current port pointer, and the agents form a multiset of
+// node positions. One synchronous round moves, at every node v hosting c
+// agents, the c agents out along ports pi_v, pi_v+1, ..., pi_v+c-1 (mod
+// deg v), then advances pi_v by c. Agents are indistinguishable, so the
+// engine stores per-node counts rather than identities.
+//
+// The engine also maintains the bookkeeping used throughout the paper's
+// analysis: n_v(t) (visits including the initial placement, Eq. (3)),
+// e_v(t) (exits, Eq. (2)), first/last visit times and coverage.
+//
+// Delayed deployments (Sec. 2.1) are supported by `step_delayed`, which
+// holds D(v,t) agents at v for the round.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "graph/graph.hpp"
+
+namespace rr::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+constexpr std::uint64_t kNotCovered = ~std::uint64_t{0};
+
+class RotorRouter {
+ public:
+  /// `agents`: multiset of starting nodes (k = agents.size()).
+  /// `pointers`: initial pi_v per node; empty means all ports 0.
+  RotorRouter(const Graph& g, const std::vector<NodeId>& agents,
+              std::vector<std::uint32_t> pointers = {});
+
+  /// One synchronous round with no delays.
+  void step() {
+    step_delayed([](NodeId, std::uint64_t, std::uint32_t) { return 0u; });
+  }
+
+  /// One synchronous round of a delayed deployment: `delay(v, t, present)`
+  /// returns D(v,t), the number of agents (clamped to `present`) held at v
+  /// during round t. Holding agents never increases visit counts (Lemma 1).
+  template <typename DelayFn>
+  void step_delayed(DelayFn&& delay) {
+    ++time_;
+    const std::size_t occupied_before = occupied_.size();
+    for (std::size_t idx = 0; idx < occupied_before; ++idx) {
+      const NodeId v = occupied_[idx];
+      const std::uint32_t present = counts_[v];
+      if (present == 0) continue;  // stale entry; skipped and dropped below
+      std::uint32_t held = delay(v, time_, present);
+      if (held > present) held = present;
+      const std::uint32_t moving = present - held;
+      if (moving == 0) continue;
+      const std::uint32_t deg = graph_->degree(v);
+      RR_ASSERT(deg > 0, "agent stranded on isolated node");
+      std::uint32_t ptr = pointers_[v];
+      for (std::uint32_t i = 0; i < moving; ++i) {
+        const NodeId u = graph_->neighbor(v, ptr);
+        if (arrivals_[u] == 0) touched_.push_back(u);
+        ++arrivals_[u];
+        ptr = ptr + 1 == deg ? 0 : ptr + 1;
+      }
+      pointers_[v] = ptr;
+      exits_[v] += moving;
+      counts_[v] = held;
+    }
+    commit_arrivals();
+  }
+
+  void run(std::uint64_t rounds) {
+    for (std::uint64_t i = 0; i < rounds; ++i) step();
+  }
+
+  /// Runs until every node has been visited; returns the cover time (round
+  /// of the last first-visit) or kNotCovered if `max_rounds` elapsed first.
+  std::uint64_t run_until_covered(std::uint64_t max_rounds);
+
+  std::uint64_t time() const { return time_; }
+  const Graph& graph() const { return *graph_; }
+  std::uint32_t num_agents() const { return num_agents_; }
+
+  std::uint32_t agents_at(NodeId v) const { return counts_[v]; }
+  std::uint32_t pointer(NodeId v) const { return pointers_[v]; }
+  const std::vector<std::uint32_t>& pointers() const { return pointers_; }
+
+  /// n_v(t): total visits to v in rounds [1,t] plus agents placed at v
+  /// initially (paper's n_v(0) convention).
+  std::uint64_t visits(NodeId v) const { return visits_[v]; }
+  /// e_v(t): total exits from v in rounds [1,t].
+  std::uint64_t exits(NodeId v) const { return exits_[v]; }
+
+  /// Total traversals of the arc (v, neighbor(v, port)) so far, via the
+  /// paper's Sec. 1.3 identity: ceil((e_v - label) / deg v), where the
+  /// label of a port is its offset from the *initial* pointer at v. Exact
+  /// at every round boundary; used for Yanovski-style edge-fairness
+  /// measurements without per-arc counters.
+  std::uint64_t arc_traversals(NodeId v, std::uint32_t port) const {
+    RR_REQUIRE(v < counts_.size(), "node out of range");
+    const std::uint32_t deg = graph_->degree(v);
+    RR_REQUIRE(port < deg, "port out of range");
+    const std::uint32_t label = (port + deg - initial_pointers_[v]) % deg;
+    const std::uint64_t e = exits_[v];
+    return e > label ? (e - label + deg - 1) / deg : 0;
+  }
+
+  /// Round of the first visit (0 for initial hosts), kNotCovered if none.
+  std::uint64_t first_visit_time(NodeId v) const { return first_visit_[v]; }
+  std::uint64_t last_visit_time(NodeId v) const { return last_visit_[v]; }
+
+  NodeId covered_count() const { return covered_; }
+  bool all_covered() const { return covered_ == graph_->num_nodes(); }
+
+  /// Sorted multiset of agent positions (for tests / hashing).
+  std::vector<NodeId> agent_positions() const;
+
+  /// FNV-1a hash of (pointers, agent counts): identifies a configuration.
+  std::uint64_t config_hash() const;
+
+ private:
+  void commit_arrivals();
+
+  const Graph* graph_;
+  std::uint32_t num_agents_;
+  std::uint64_t time_ = 0;
+  NodeId covered_ = 0;
+
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint32_t> pointers_;
+  std::vector<std::uint32_t> initial_pointers_;
+  std::vector<NodeId> occupied_;  // nodes with counts_ > 0 (unique)
+  std::vector<std::uint32_t> arrivals_;
+  std::vector<NodeId> touched_;
+
+  std::vector<std::uint64_t> visits_;
+  std::vector<std::uint64_t> exits_;
+  std::vector<std::uint64_t> first_visit_;
+  std::vector<std::uint64_t> last_visit_;
+};
+
+}  // namespace rr::core

@@ -1,0 +1,96 @@
+#include "core/snapshot.hpp"
+
+#include <charconv>
+#include <cstring>
+
+namespace rr::core {
+
+namespace {
+
+// Parses "key=" at the current position; advances past it on success.
+bool expect(const std::string& text, std::size_t& pos, const char* token) {
+  const std::size_t len = std::strlen(token);
+  if (text.compare(pos, len, token) != 0) return false;
+  pos += len;
+  return true;
+}
+
+std::optional<std::uint64_t> parse_number(const std::string& text,
+                                          std::size_t& pos) {
+  std::uint64_t value = 0;
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin) return std::nullopt;
+  pos += static_cast<std::size_t>(ptr - begin);
+  return value;
+}
+
+}  // namespace
+
+std::string to_text(const RingConfig& config) {
+  std::string out = "ring n=" + std::to_string(config.n) + " agents=";
+  for (std::size_t i = 0; i < config.agents.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(config.agents[i]);
+  }
+  out += " pointers=";
+  if (config.pointers.empty()) {
+    out += std::string(config.n, 'c');  // default: all clockwise
+  } else {
+    for (std::uint8_t p : config.pointers) {
+      out += (p == kClockwise) ? 'c' : 'w';
+    }
+  }
+  return out;
+}
+
+std::optional<RingConfig> ring_config_from_text(const std::string& text) {
+  std::size_t pos = 0;
+  if (!expect(text, pos, "ring n=")) return std::nullopt;
+  const auto n = parse_number(text, pos);
+  if (!n || *n < 3 || *n > (1ULL << 31)) return std::nullopt;
+
+  if (!expect(text, pos, " agents=")) return std::nullopt;
+  RingConfig config;
+  config.n = static_cast<NodeId>(*n);
+  while (true) {
+    const auto a = parse_number(text, pos);
+    if (!a || *a >= *n) return std::nullopt;
+    config.agents.push_back(static_cast<NodeId>(*a));
+    if (pos < text.size() && text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+
+  if (!expect(text, pos, " pointers=")) return std::nullopt;
+  if (text.size() - pos != *n) return std::nullopt;
+  config.pointers.reserve(*n);
+  for (; pos < text.size(); ++pos) {
+    if (text[pos] == 'c') {
+      config.pointers.push_back(kClockwise);
+    } else if (text[pos] == 'w') {
+      config.pointers.push_back(kAnticlockwise);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return config;
+}
+
+RingConfig checkpoint(const RingRotorRouter& rr) {
+  RingConfig config;
+  config.n = rr.num_nodes();
+  config.pointers.resize(rr.num_nodes());
+  for (NodeId v = 0; v < rr.num_nodes(); ++v) {
+    config.pointers[v] = rr.pointer(v);
+    for (std::uint32_t i = 0; i < rr.agents_at(v); ++i) {
+      config.agents.push_back(v);
+    }
+  }
+  return config;
+}
+
+}  // namespace rr::core

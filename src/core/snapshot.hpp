@@ -1,0 +1,33 @@
+#pragma once
+
+// Plain-text (de)serialization of ring configurations (S15 extension).
+//
+// Experiments are defined by (n, agent multiset, pointer vector); this
+// module round-trips that triple through a compact single-line text format
+// so that experiment manifests can be stored, diffed and replayed:
+//
+//   ring n=16 agents=0,0,8 pointers=cwwc...  (c = clockwise, w = acw)
+//
+// Engine states (pointers + agent counts at time t) use the same encoding,
+// letting a long simulation be checkpointed and resumed exactly.
+
+#include <optional>
+#include <string>
+
+#include "core/cover_time.hpp"
+#include "core/ring_rotor_router.hpp"
+
+namespace rr::core {
+
+/// Serializes a configuration to the one-line text format.
+std::string to_text(const RingConfig& config);
+
+/// Parses the one-line format; nullopt on malformed input (never aborts:
+/// manifests are external input).
+std::optional<RingConfig> ring_config_from_text(const std::string& text);
+
+/// Captures the engine's current (pointers, agent counts) as a RingConfig
+/// whose `make()` resumes the run exactly (visit statistics start fresh).
+RingConfig checkpoint(const RingRotorRouter& rr);
+
+}  // namespace rr::core

@@ -1,0 +1,84 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+
+#include "core/domains.hpp"
+
+namespace rr::core {
+
+TraceRow render_row(const RingRotorRouter& rr, bool domains) {
+  const NodeId n = rr.num_nodes();
+  std::string cells(n, ' ');
+  if (domains) {
+    const auto snap = compute_domains(rr);
+    for (std::size_t d = 0; d < snap.domains.size(); ++d) {
+      const char label = static_cast<char>('a' + (d % 26));
+      NodeId v = snap.domains[d].begin;
+      for (std::uint32_t i = 0; i < snap.domains[d].size; ++i) {
+        cells[v] = label;
+        v = rr.clockwise(v);
+      }
+    }
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      if (rr.visited(v)) cells[v] = '.';
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t c = rr.agents_at(v);
+    if (c == 1) {
+      cells[v] = 'o';
+    } else if (c == 2) {
+      cells[v] = '8';
+    } else if (c > 2) {
+      cells[v] = '*';
+    }
+  }
+  return {rr.time(), std::move(cells)};
+}
+
+std::string render_pointers(const RingRotorRouter& rr) {
+  std::string out(rr.num_nodes(), '?');
+  for (NodeId v = 0; v < rr.num_nodes(); ++v) {
+    out[v] = rr.pointer(v) == kClockwise ? '>' : '<';
+  }
+  return out;
+}
+
+std::vector<TraceRow> record_trace(RingRotorRouter& rr,
+                                   const TraceOptions& options) {
+  RR_REQUIRE(options.stride > 0, "stride must be positive");
+  std::vector<TraceRow> rows;
+  rows.push_back(render_row(rr, options.domains));
+  if (options.pointers) {
+    rows.push_back({rr.time(), render_pointers(rr)});
+  }
+  for (std::uint64_t t = 0; t < options.rounds; ++t) {
+    rr.step();
+    if ((t + 1) % options.stride == 0) {
+      rows.push_back(render_row(rr, options.domains));
+      if (options.pointers) {
+        rows.push_back({rr.time(), render_pointers(rr)});
+      }
+    }
+  }
+  return rows;
+}
+
+std::string format_trace(const std::vector<TraceRow>& rows) {
+  // Width of the round label column.
+  std::uint64_t max_round = 0;
+  for (const auto& r : rows) max_round = std::max(max_round, r.round);
+  std::size_t width = 1;
+  for (std::uint64_t x = max_round; x >= 10; x /= 10) ++width;
+
+  std::string out;
+  for (const auto& r : rows) {
+    std::string label = std::to_string(r.round);
+    out += "t=" + std::string(width - label.size(), ' ') + label + " |" +
+           r.cells + "|\n";
+  }
+  return out;
+}
+
+}  // namespace rr::core

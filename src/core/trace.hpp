@@ -1,0 +1,51 @@
+#pragma once
+
+// Space-time tracing of ring configurations (S6 extension).
+//
+// Renders the evolution of a (small) ring system as ASCII space-time
+// diagrams — one row per sampled round, one column per node — used by the
+// spacetime_diagram example and the Fig. 1/Fig. 2 illustrations:
+//
+//   time 0   |oooo                            |  agents bunched at node 0
+//   time 16  |  .o.o..o.                o.    |  domains forming
+//
+// Symbols: 'o' one agent, '8' two agents, '*' three or more, '.' visited,
+// ' ' unvisited; in domain mode, visited nodes show a letter identifying
+// the owning agent's domain (cycling a..z).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ring_rotor_router.hpp"
+
+namespace rr::core {
+
+struct TraceOptions {
+  std::uint64_t rounds = 64;   ///< rounds to advance while recording
+  std::uint64_t stride = 1;    ///< sample every `stride` rounds
+  bool domains = false;        ///< label visited nodes by owning domain
+  bool pointers = false;       ///< add a second line with pointer directions
+};
+
+/// One rendered row of the diagram plus the round it depicts.
+struct TraceRow {
+  std::uint64_t round;
+  std::string cells;
+};
+
+/// Renders the current configuration (one row, no stepping).
+TraceRow render_row(const RingRotorRouter& rr, bool domains);
+
+/// Renders pointer directions ('>' clockwise, '<' anticlockwise).
+std::string render_pointers(const RingRotorRouter& rr);
+
+/// Advances `rr` for options.rounds rounds, sampling a row every
+/// options.stride rounds (including the initial state).
+std::vector<TraceRow> record_trace(RingRotorRouter& rr,
+                                   const TraceOptions& options);
+
+/// Joins rows into a printable diagram with round labels.
+std::string format_trace(const std::vector<TraceRow>& rows);
+
+}  // namespace rr::core

@@ -1,0 +1,82 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace rr::graph {
+
+void Graph::permute_ports(NodeId v, std::span<const std::uint32_t> perm) {
+  RR_REQUIRE(v < num_nodes(), "node out of range");
+  RR_REQUIRE(perm.size() == adj_[v].size(), "permutation size must equal degree");
+  std::vector<bool> seen(perm.size(), false);
+  for (std::uint32_t p : perm) {
+    RR_REQUIRE(p < perm.size() && !seen[p], "not a permutation");
+    seen[p] = true;
+  }
+  std::vector<NodeId> next(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) next[i] = adj_[v][perm[i]];
+  adj_[v] = std::move(next);
+}
+
+void Graph::rotate_ports(NodeId v, std::uint32_t offset) {
+  RR_REQUIRE(v < num_nodes(), "node out of range");
+  if (adj_[v].empty()) return;
+  offset %= static_cast<std::uint32_t>(adj_[v].size());
+  std::rotate(adj_[v].begin(), adj_[v].begin() + offset, adj_[v].end());
+}
+
+std::vector<std::uint32_t> Graph::bfs_distances(NodeId src) const {
+  RR_REQUIRE(src < num_nodes(), "node out of range");
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(num_nodes(), kInf);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    for (NodeId u : adj_[v]) {
+      if (dist[u] == kInf) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::is_connected() const {
+  if (num_nodes() == 0) return true;
+  auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(), [](std::uint32_t d) {
+    return d == std::numeric_limits<std::uint32_t>::max();
+  });
+}
+
+std::uint32_t Graph::eccentricity(NodeId src) const {
+  auto dist = bfs_distances(src);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    RR_REQUIRE(d != std::numeric_limits<std::uint32_t>::max(),
+               "eccentricity requires a connected graph");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t Graph::diameter() const {
+  RR_REQUIRE(num_nodes() > 0, "diameter of empty graph");
+  std::uint32_t d = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) d = std::max(d, eccentricity(v));
+  return d;
+}
+
+bool Graph::all_degrees_even() const {
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (degree(v) % 2 != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rr::graph

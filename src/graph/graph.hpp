@@ -1,0 +1,116 @@
+#pragma once
+
+// Undirected graph substrate with fixed cyclic port orderings (S1).
+//
+// The rotor-router model (paper Sec. 1.3) operates on the directed symmetric
+// version of an undirected graph G: every undirected edge {u,v} contributes
+// arcs (u,v) and (v,u). Each node v keeps a fixed cyclic order rho_v of its
+// outgoing arcs; ports are the positions 0..deg(v)-1 in that order. The
+// order is fixed at construction time (it may be permuted before any
+// simulation starts, modelling the adversary's choice) and never changes
+// during exploration.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace rr::graph {
+
+using NodeId = std::uint32_t;
+
+/// Undirected multigraph with per-node cyclic port orderings.
+///
+/// Storage is adjacency lists: `neighbor(v, p)` is the node reached from v
+/// through port p, and the cyclic successor of port p is (p+1) mod deg(v),
+/// implementing next(v,u) from the paper.
+class Graph {
+ public:
+  /// Creates a graph with `n` isolated nodes.
+  explicit Graph(NodeId n) : adj_(n) {}
+
+  /// Adds the undirected edge {u,v}; the new arcs take the next free port
+  /// at each endpoint. Self-loops are rejected (the paper's model is on
+  /// simple connected graphs); parallel edges are allowed.
+  void add_edge(NodeId u, NodeId v) {
+    RR_REQUIRE(u < num_nodes() && v < num_nodes(), "edge endpoint out of range");
+    RR_REQUIRE(u != v, "self-loops are not part of the model");
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+    ++num_edges_;
+  }
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+  /// Number of arcs in the directed symmetric version (2|E|).
+  std::size_t num_arcs() const { return 2 * num_edges_; }
+
+  std::uint32_t degree(NodeId v) const {
+    RR_REQUIRE(v < num_nodes(), "node out of range");
+    return static_cast<std::uint32_t>(adj_[v].size());
+  }
+
+  /// Node reached from `v` through port `p`.
+  NodeId neighbor(NodeId v, std::uint32_t p) const {
+    RR_REQUIRE(v < num_nodes(), "node out of range");
+    RR_REQUIRE(p < adj_[v].size(), "port out of range");
+    return adj_[v][p];
+  }
+
+  /// Neighbors of `v` in port order.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    RR_REQUIRE(v < num_nodes(), "node out of range");
+    return {adj_[v].data(), adj_[v].size()};
+  }
+
+  /// Smallest port at `v` leading to `u` (paper's port_v(u)); requires the
+  /// edge to exist.
+  std::uint32_t port_to(NodeId v, NodeId u) const {
+    RR_REQUIRE(v < num_nodes() && u < num_nodes(), "node out of range");
+    for (std::uint32_t p = 0; p < adj_[v].size(); ++p) {
+      if (adj_[v][p] == u) return p;
+    }
+    RR_REQUIRE(false, "port_to: no edge between the given nodes");
+  }
+
+  bool has_edge(NodeId v, NodeId u) const {
+    if (v >= num_nodes() || u >= num_nodes()) return false;
+    for (NodeId w : adj_[v]) {
+      if (w == u) return true;
+    }
+    return false;
+  }
+
+  /// Reorders the ports at `v` by the permutation `perm` (new port i leads
+  /// where old port perm[i] led). Models the adversary's choice of cyclic
+  /// order before exploration starts.
+  void permute_ports(NodeId v, std::span<const std::uint32_t> perm);
+
+  /// Rotates the port order at every node by node-specific offsets; a
+  /// convenience for constructing adversarial cyclic orders.
+  void rotate_ports(NodeId v, std::uint32_t offset);
+
+  // ---- global structure queries (BFS-based; intended for test/bench-scale
+  // graphs, not asymptotically optimal) ----
+
+  bool is_connected() const;
+  /// Graph diameter D (max over BFS eccentricities). Requires connectivity.
+  std::uint32_t diameter() const;
+  /// BFS distances from `src` (UINT32_MAX for unreachable nodes).
+  std::vector<std::uint32_t> bfs_distances(NodeId src) const;
+  /// Max distance from `src` to any node.
+  std::uint32_t eccentricity(NodeId src) const;
+
+  /// True if every node has even degree (an Eulerian circuit of G exists);
+  /// the directed symmetric version always has one for connected G.
+  bool all_degrees_even() const;
+
+  bool operator==(const Graph& other) const = default;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace rr::graph

@@ -1,0 +1,72 @@
+#include "walk/random_walk.hpp"
+
+#include <cmath>
+
+namespace rr::walk {
+
+GraphRandomWalks::GraphRandomWalks(const graph::Graph& g,
+                                   std::vector<graph::NodeId> starts,
+                                   std::uint64_t seed)
+    : graph_(&g),
+      rng_(seed),
+      pos_(std::move(starts)),
+      visited_(g.num_nodes(), 0) {
+  RR_REQUIRE(!pos_.empty(), "at least one walker required");
+  for (graph::NodeId v : pos_) {
+    RR_REQUIRE(v < g.num_nodes(), "walker start out of range");
+    if (!visited_[v]) {
+      visited_[v] = 1;
+      ++covered_;
+    }
+  }
+}
+
+void GraphRandomWalks::step() {
+  ++time_;
+  for (auto& p : pos_) {
+    const std::uint32_t deg = graph_->degree(p);
+    p = graph_->neighbor(p, deg == 1 ? 0 : rng_.bounded(deg));
+    if (!visited_[p]) {
+      visited_[p] = 1;
+      ++covered_;
+    }
+  }
+}
+
+std::uint64_t GraphRandomWalks::run_until_covered(std::uint64_t max_rounds) {
+  if (all_covered()) return 0;
+  while (time_ < max_rounds) {
+    step();
+    if (all_covered()) return time_;
+  }
+  return kGraphWalkNotCovered;
+}
+
+CoverEstimate estimate_graph_cover_time(const graph::Graph& g,
+                                        const std::vector<graph::NodeId>& starts,
+                                        std::uint64_t trials,
+                                        std::uint64_t seed,
+                                        std::uint64_t max_rounds) {
+  RR_REQUIRE(trials >= 2, "need at least two trials for a CI");
+  Rng seeder(seed);
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    GraphRandomWalks walks(g, starts, seeder());
+    const std::uint64_t c = walks.run_until_covered(max_rounds);
+    RR_REQUIRE(c != kGraphWalkNotCovered,
+               "cover-time trial exceeded max_rounds; raise the cap");
+    sum += static_cast<double>(c);
+    sum_sq += static_cast<double>(c) * static_cast<double>(c);
+  }
+  CoverEstimate est;
+  est.trials = trials;
+  est.mean = sum / static_cast<double>(trials);
+  const double var =
+      (sum_sq - sum * sum / static_cast<double>(trials)) /
+      static_cast<double>(trials - 1);
+  est.stddev = var > 0 ? std::sqrt(var) : 0.0;
+  est.ci95 = 1.96 * est.stddev / std::sqrt(static_cast<double>(trials));
+  return est;
+}
+
+}  // namespace rr::walk

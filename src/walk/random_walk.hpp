@@ -1,0 +1,66 @@
+#pragma once
+
+// k parallel random walks on a general graph (S9).
+//
+// Used for cross-topology comparisons (exploration race example, Yanovski
+// baseline) and for validating the ring-specialized engine against the
+// generic one on graph::ring(n).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace rr::walk {
+
+constexpr std::uint64_t kGraphWalkNotCovered = ~std::uint64_t{0};
+
+class GraphRandomWalks {
+ public:
+  GraphRandomWalks(const graph::Graph& g, std::vector<graph::NodeId> starts,
+                   std::uint64_t seed);
+
+  void step();
+  void run(std::uint64_t rounds) {
+    for (std::uint64_t i = 0; i < rounds; ++i) step();
+  }
+  std::uint64_t run_until_covered(std::uint64_t max_rounds);
+
+  const graph::Graph& graph() const { return *graph_; }
+  std::uint32_t num_walkers() const {
+    return static_cast<std::uint32_t>(pos_.size());
+  }
+  std::uint64_t time() const { return time_; }
+  graph::NodeId position(std::uint32_t walker) const { return pos_[walker]; }
+
+  bool visited(graph::NodeId v) const { return visited_[v]; }
+  graph::NodeId covered_count() const { return covered_; }
+  bool all_covered() const { return covered_ == graph_->num_nodes(); }
+
+ private:
+  const graph::Graph* graph_;
+  std::uint64_t time_ = 0;
+  graph::NodeId covered_ = 0;
+  Rng rng_;
+  std::vector<graph::NodeId> pos_;
+  std::vector<std::uint8_t> visited_;
+};
+
+/// Mean cover time over `trials` independent runs (the expectation the
+/// paper's Table 1 refers to), with the sample standard deviation.
+struct CoverEstimate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  ///< half-width of the 95% confidence interval
+  std::uint64_t trials = 0;
+};
+
+CoverEstimate estimate_graph_cover_time(const graph::Graph& g,
+                                        const std::vector<graph::NodeId>& starts,
+                                        std::uint64_t trials,
+                                        std::uint64_t seed,
+                                        std::uint64_t max_rounds);
+
+}  // namespace rr::walk

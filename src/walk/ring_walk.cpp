@@ -1,0 +1,98 @@
+#include "walk/ring_walk.hpp"
+
+#include <algorithm>
+
+namespace rr::walk {
+
+RingRandomWalks::RingRandomWalks(NodeId n, std::vector<NodeId> starts,
+                                 std::uint64_t seed)
+    : n_(n),
+      pos_(std::move(starts)),
+      bits_(pos_.size(), 0),
+      bits_left_(pos_.size(), 0),
+      last_visit_(n, kWalkNotCovered) {
+  RR_REQUIRE(n >= 3, "ring requires n >= 3");
+  RR_REQUIRE(!pos_.empty(), "at least one walker required");
+  // Derive one independent stream per walker from the seed so that walker
+  // i's trajectory depends only on (seed, i) — not on how many other
+  // walkers are deployed (trial results stay comparable across k).
+  rngs_.reserve(pos_.size());
+  std::uint64_t sm = seed;
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    rngs_.emplace_back(splitmix64(sm));
+  }
+  for (NodeId v : pos_) {
+    RR_REQUIRE(v < n, "walker start out of range");
+    if (last_visit_[v] == kWalkNotCovered) {
+      last_visit_[v] = 0;
+      ++covered_;
+    }
+  }
+}
+
+void RingRandomWalks::step() {
+  ++time_;
+  const std::size_t k = pos_.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    if (bits_left_[i] == 0) {
+      bits_[i] = rngs_[i]();
+      bits_left_[i] = 64;
+    }
+    const bool cw = bits_[i] & 1;
+    bits_[i] >>= 1;
+    --bits_left_[i];
+    NodeId p = pos_[i];
+    p = cw ? (p + 1 == n_ ? 0 : p + 1) : (p == 0 ? n_ - 1 : p - 1);
+    pos_[i] = p;
+    if (last_visit_[p] == kWalkNotCovered) ++covered_;
+    last_visit_[p] = time_;
+  }
+}
+
+std::uint64_t RingRandomWalks::run_until_covered(std::uint64_t max_rounds) {
+  if (all_covered()) return 0;
+  while (time_ < max_rounds) {
+    step();
+    if (all_covered()) return time_;
+  }
+  return kWalkNotCovered;
+}
+
+GapStats ring_walk_gap_stats(NodeId n, std::uint32_t k, std::uint64_t seed,
+                             std::uint64_t warmup, std::uint64_t window) {
+  Rng seeder(seed);
+  std::vector<NodeId> starts(k);
+  for (auto& s : starts) s = seeder.bounded(n);
+  RingRandomWalks walks(n, std::move(starts), seeder());
+  walks.run(warmup);
+
+  std::vector<std::uint64_t> last_seen(n);
+  for (NodeId v = 0; v < n; ++v) last_seen[v] = walks.time();
+
+  GapStats stats;
+  double sum = 0.0, sum_sq = 0.0;
+  const std::uint64_t t_end = walks.time() + window;
+  while (walks.time() < t_end) {
+    walks.step();
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const NodeId p = walks.position(i);
+      // Multiple walkers can hit p in one round; gap 0 entries from the
+      // same round are skipped via the last_seen update.
+      if (last_seen[p] == walks.time()) continue;
+      const double gap = static_cast<double>(walks.time() - last_seen[p]);
+      last_seen[p] = walks.time();
+      sum += gap;
+      sum_sq += gap * gap;
+      stats.max_gap = std::max(stats.max_gap, gap);
+      ++stats.samples;
+    }
+  }
+  if (stats.samples > 0) {
+    stats.mean_gap = sum / static_cast<double>(stats.samples);
+    stats.var_gap =
+        sum_sq / static_cast<double>(stats.samples) - stats.mean_gap * stats.mean_gap;
+  }
+  return stats;
+}
+
+}  // namespace rr::walk

@@ -1,0 +1,156 @@
+// Tests for the cover-time and return-time runners (S8) and small-scale
+// checks of the paper's Theorems 1-4 and 6 shapes.
+
+#include "core/cover_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/initializers.hpp"
+#include "graph/generators.hpp"
+
+namespace rr::core {
+namespace {
+
+TEST(RingCover, UniformPointersSingleAgentSweepsOnce) {
+  RingConfig c{16, {0}, pointers_uniform(16, kClockwise)};
+  EXPECT_EQ(ring_cover_time(c), 15u);
+}
+
+TEST(RingCover, DefaultCapIsGenerous) {
+  // Worst-case single-agent cover is Theta(n^2); the default cap must
+  // never truncate it.
+  const NodeId n = 128;
+  RingConfig c{n, {0}, pointers_toward(n, 0)};
+  const std::uint64_t cover = ring_cover_time(c);
+  ASSERT_NE(cover, kRingNotCovered);
+  EXPECT_GT(cover, static_cast<std::uint64_t>(n) * n / 8);
+}
+
+TEST(RingCover, ExplicitCapTruncates) {
+  const NodeId n = 128;
+  RingConfig c{n, {0}, pointers_toward(n, 0)};
+  EXPECT_EQ(ring_cover_time(c, 10), kRingNotCovered);
+}
+
+TEST(RingCover, Theorem1WorstCaseScalesAsNSquaredOverLogK) {
+  // Fixed k, growing n: all-on-one cover should grow ~ n^2 (the log k is
+  // constant across the sweep); ratios to n^2 stay within a narrow band.
+  const std::uint32_t k = 8;
+  double prev_ratio = -1.0;
+  for (NodeId n : {256u, 512u, 1024u}) {
+    RingConfig c{n, place_all_on_one(k, 0), pointers_toward(n, 0)};
+    const auto cover = ring_cover_time(c);
+    ASSERT_NE(cover, kRingNotCovered);
+    const double ratio = static_cast<double>(cover) / (static_cast<double>(n) * n);
+    if (prev_ratio > 0) {
+      EXPECT_NEAR(ratio, prev_ratio, 0.5 * prev_ratio) << "n " << n;
+    }
+    prev_ratio = ratio;
+  }
+}
+
+TEST(RingCover, Theorem1MoreAgentsHelpLogarithmically) {
+  // All-on-one: doubling k from 4 to 64 should speed coverage up by a
+  // modest (logarithmic) factor, far less than 16x.
+  const NodeId n = 1024;
+  RingConfig c4{n, place_all_on_one(4, 0), pointers_toward(n, 0)};
+  RingConfig c64{n, place_all_on_one(64, 0), pointers_toward(n, 0)};
+  const double t4 = static_cast<double>(ring_cover_time(c4));
+  const double t64 = static_cast<double>(ring_cover_time(c64));
+  EXPECT_LT(t64, t4);              // more agents never slow it down
+  EXPECT_GT(t64, t4 / 16.0);      // but the speed-up is sub-linear
+  EXPECT_LT(t64, t4 / 1.2);       // and clearly visible
+}
+
+TEST(RingCover, Theorem3EquallySpacedIsQuadraticInNOverK) {
+  // best placement: cover = O((n/k)^2); check ratio stability across n at
+  // fixed n/k.
+  for (std::uint32_t scale : {1u, 2u, 4u}) {
+    const NodeId n = 256 * scale;
+    const std::uint32_t k = 4 * scale;  // n/k fixed at 64
+    RingConfig c{n, place_equally_spaced(n, k), {}};
+    c.pointers = pointers_negative(n, c.agents);
+    const auto cover = ring_cover_time(c);
+    ASSERT_NE(cover, kRingNotCovered);
+    const double gap = 64.0;
+    EXPECT_LE(static_cast<double>(cover), 4.0 * gap * gap) << "n " << n;
+    EXPECT_GE(static_cast<double>(cover), 0.25 * gap * gap) << "n " << n;
+  }
+}
+
+TEST(RingCover, Theorem4AdversarialPointersForceQuadraticLowerBound) {
+  // Even from the best placement, the remote-vertex negative adversary
+  // forces Omega((n/k)^2).
+  const NodeId n = 1024;
+  const std::uint32_t k = 8;
+  auto agents = place_equally_spaced(n, k);
+  const auto adv = adversarial_remote_init(n, agents);
+  ASSERT_TRUE(adv.found);
+  RingConfig c{n, agents, adv.pointers};
+  const auto cover = ring_cover_time(c);
+  ASSERT_NE(cover, kRingNotCovered);
+  const double gap = static_cast<double>(n) / k;
+  EXPECT_GE(static_cast<double>(cover), 0.1 * gap * gap);
+}
+
+TEST(GraphCover, SingleAgentBoundDEOnSmallGraphs) {
+  // Yanovski et al.: cover within 2 D |E| (we allow the full lock-in bound
+  // with slack).
+  for (const auto& g : {graph::ring(24), graph::grid(6, 4), graph::clique(8),
+                        graph::hypercube(4)}) {
+    const std::uint64_t cover = graph_cover_time(g, {0});
+    ASSERT_NE(cover, kNotCovered);
+    EXPECT_LE(cover, 2ULL * g.diameter() * g.num_edges() + 2 * g.num_edges());
+  }
+}
+
+TEST(GraphCover, MoreAgentsNeverSlowCoverage) {
+  graph::Graph g = graph::grid(8, 8);
+  const std::uint64_t c1 = graph_cover_time(g, {0});
+  const std::uint64_t c4 = graph_cover_time(g, {0, 0, 0, 0});
+  ASSERT_NE(c1, kNotCovered);
+  ASSERT_NE(c4, kNotCovered);
+  EXPECT_LE(c4, c1);
+}
+
+TEST(ReturnTime, Theorem6MaxGapIsThetaNOverK) {
+  const NodeId n = 256;
+  for (std::uint32_t k : {2u, 4u, 8u}) {
+    RingConfig c{n, place_equally_spaced(n, k), {}};
+    const auto ret = ring_return_time(c);
+    ASSERT_TRUE(ret.covered);
+    const double expected = static_cast<double>(n) / k;
+    EXPECT_GE(static_cast<double>(ret.max_gap), 0.5 * expected) << "k " << k;
+    EXPECT_LE(static_cast<double>(ret.max_gap), 6.0 * expected) << "k " << k;
+  }
+}
+
+TEST(ReturnTime, IndependentOfInitialPlacement) {
+  // Thm 6 holds regardless of initialization: all-on-one eventually gives
+  // the same Theta(n/k) refresh.
+  const NodeId n = 256;
+  const std::uint32_t k = 8;
+  RingConfig all_on_one{n, place_all_on_one(k, 0), pointers_toward(n, 0)};
+  RingConfig spaced{n, place_equally_spaced(n, k), {}};
+  const auto r1 = ring_return_time(all_on_one);
+  const auto r2 = ring_return_time(spaced);
+  ASSERT_TRUE(r1.covered);
+  ASSERT_TRUE(r2.covered);
+  const double ratio = static_cast<double>(r1.max_gap) /
+                       static_cast<double>(r2.max_gap);
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(ReturnTime, EveryNodeKeepsBeingVisited) {
+  RingConfig c{128, place_equally_spaced(128, 4), {}};
+  const auto ret = ring_return_time(c);
+  EXPECT_GT(ret.min_visits, 0u) << "some node starved during the window";
+  EXPECT_GT(ret.mean_gap, 0.0);
+  EXPECT_LE(ret.mean_gap, static_cast<double>(ret.max_gap));
+}
+
+}  // namespace
+}  // namespace rr::core

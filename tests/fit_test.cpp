@@ -1,0 +1,81 @@
+// Tests for the fitting helpers (S11) used to verify Theta shapes.
+
+#include "analysis/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace rr::analysis {
+namespace {
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {3, 5, 7, 9, 11};  // y = 2x + 1
+  const auto fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyLineStillCloseWithGoodR2) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.5 * i + 2.0 + (rng.uniform01() - 0.5));
+  }
+  const auto fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.05);
+  EXPECT_GT(fit.r_squared, 0.97);
+}
+
+TEST(FitLinear, FlatDataHasZeroSlope) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {7, 7, 7, 7};
+  const auto fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);  // degenerate ss_tot handled
+}
+
+TEST(FitPowerLaw, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {64.0, 128.0, 256.0, 512.0, 1024.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * x * x);  // y = 3 x^2
+  }
+  const auto fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-8);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitPowerLaw, LogFactorBiasesExponentSlightly) {
+  // y = x^2 / log2(x): the fitted exponent dips below 2 — this is why the
+  // benches use ratio flatness, not the exponent, for claims with logs.
+  std::vector<double> xs, ys;
+  for (double x : {256.0, 512.0, 1024.0, 2048.0, 4096.0}) {
+    xs.push_back(x);
+    ys.push_back(x * x / std::log2(x));
+  }
+  const auto fit = fit_power_law(xs, ys);
+  EXPECT_LT(fit.slope, 2.0);
+  EXPECT_GT(fit.slope, 1.7);
+}
+
+TEST(RatioSpread, FlatRatiosGiveOne) {
+  const std::vector<double> measured = {10, 20, 40};
+  const std::vector<double> predicted = {5, 10, 20};
+  EXPECT_DOUBLE_EQ(ratio_spread(measured, predicted), 1.0);
+}
+
+TEST(RatioSpread, DetectsNonFlatness) {
+  const std::vector<double> measured = {10, 20, 80};
+  const std::vector<double> predicted = {10, 20, 40};
+  EXPECT_DOUBLE_EQ(ratio_spread(measured, predicted), 2.0);
+}
+
+}  // namespace
+}  // namespace rr::analysis

@@ -1,0 +1,138 @@
+// Unit tests for the graph substrate (S1): ports, edges, BFS metrics,
+// permutations.
+
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace rr::graph {
+namespace {
+
+TEST(Graph, EmptyGraphHasNoEdges) {
+  Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(Graph, AddEdgeUpdatesBothEndpoints) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.neighbor(0, 0), 1u);
+  EXPECT_EQ(g.neighbor(1, 0), 0u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(Graph, PortsFollowInsertionOrder) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.neighbor(0, 0), 1u);
+  EXPECT_EQ(g.neighbor(0, 1), 2u);
+  EXPECT_EQ(g.neighbor(0, 2), 3u);
+}
+
+TEST(Graph, PortToFindsSmallestPort) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);  // parallel edge
+  EXPECT_EQ(g.port_to(0, 1), 0u);
+  EXPECT_EQ(g.port_to(0, 2), 1u);
+}
+
+TEST(Graph, HasEdge) {
+  Graph g(4);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(3, 99));
+}
+
+TEST(Graph, PermutePortsReordersNeighbors) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const std::vector<std::uint32_t> perm = {2, 0, 1};
+  g.permute_ports(0, perm);
+  EXPECT_EQ(g.neighbor(0, 0), 3u);
+  EXPECT_EQ(g.neighbor(0, 1), 1u);
+  EXPECT_EQ(g.neighbor(0, 2), 2u);
+}
+
+TEST(Graph, RotatePortsShiftsCyclically) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.rotate_ports(0, 2);
+  EXPECT_EQ(g.neighbor(0, 0), 3u);
+  EXPECT_EQ(g.neighbor(0, 1), 1u);
+  EXPECT_EQ(g.neighbor(0, 2), 2u);
+}
+
+TEST(Graph, BfsDistancesOnPath) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto d = g.bfs_distances(0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 3u);
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, DiameterOfPath) {
+  Graph g(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1);
+  EXPECT_EQ(g.diameter(), 4u);
+}
+
+TEST(Graph, EccentricityFromEndpointOfPath) {
+  Graph g(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1);
+  EXPECT_EQ(g.eccentricity(0), 4u);
+  EXPECT_EQ(g.eccentricity(2), 2u);
+}
+
+TEST(Graph, AllDegreesEven) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_TRUE(g.all_degrees_even());
+  Graph h(3);
+  h.add_edge(0, 1);
+  EXPECT_FALSE(h.all_degrees_even());
+}
+
+TEST(Graph, EqualityComparesStructure) {
+  Graph a(3), b(3);
+  a.add_edge(0, 1);
+  b.add_edge(0, 1);
+  EXPECT_EQ(a, b);
+  b.add_edge(1, 2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rr::graph

@@ -1,0 +1,73 @@
+// Tests for the histogram utility.
+
+#include "analysis/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rr::analysis {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinBoundaries) {
+  Histogram h(10.0, 30.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 15.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 25.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 30.0);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1.5);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const auto text = h.render(10);
+  EXPECT_NE(text.find("##########"), std::string::npos);  // peak bin
+  EXPECT_NE(text.find("#####"), std::string::npos);       // half-height bin
+}
+
+TEST(Histogram, AddAllMatchesIndividualAdds) {
+  Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+  const std::vector<double> xs = {1, 2, 3, 7, 9, 11};
+  for (double x : xs) a.add(x);
+  b.add_all(xs);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(a.count(i), b.count(i));
+  EXPECT_EQ(a.overflow(), b.overflow());
+}
+
+TEST(HistogramDeath, RejectsBadConstruction) {
+  EXPECT_DEATH(Histogram(5.0, 5.0, 3), "hi > lo");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "at least one bin");
+}
+
+}  // namespace
+}  // namespace rr::analysis

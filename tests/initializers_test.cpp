@@ -1,0 +1,161 @@
+// Unit tests for placements and pointer arrangements (S7), including the
+// remote-vertex machinery of Definition 2 / Lemma 15 / Thm 4.
+
+#include "core/initializers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rr::core {
+namespace {
+
+TEST(Placements, AllOnOne) {
+  const auto agents = place_all_on_one(5, 7);
+  ASSERT_EQ(agents.size(), 5u);
+  for (NodeId a : agents) EXPECT_EQ(a, 7u);
+}
+
+TEST(Placements, EquallySpacedGapsAreTight) {
+  const NodeId n = 100;
+  const std::uint32_t k = 7;
+  const auto agents = place_equally_spaced(n, k);
+  ASSERT_EQ(agents.size(), k);
+  for (std::uint32_t i = 0; i + 1 < k; ++i) {
+    const NodeId gap = agents[i + 1] - agents[i];
+    EXPECT_GE(gap, n / k);
+    EXPECT_LE(gap, n / k + 1);
+  }
+  // Wraparound gap also at most ceil(n/k).
+  const NodeId wrap = agents[0] + n - agents[k - 1];
+  EXPECT_LE(wrap, n / k + 1);
+}
+
+TEST(Placements, EquallySpacedWithOffsetRotates) {
+  const auto base = place_equally_spaced(64, 4);
+  const auto shifted = place_equally_spaced(64, 4, 10);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((base[i] + 10) % 64, shifted[i]);
+  }
+}
+
+TEST(Placements, RandomPlacementInRangeAndDeterministic) {
+  Rng rng1(5), rng2(5);
+  const auto a = place_random(50, 10, rng1);
+  const auto b = place_random(50, 10, rng2);
+  EXPECT_EQ(a, b);
+  for (NodeId v : a) EXPECT_LT(v, 50u);
+}
+
+TEST(Placements, ClusteredStaysWithinSpread) {
+  Rng rng(9);
+  const NodeId n = 100, center = 10, spread = 3;
+  const auto agents = place_clustered(n, 20, center, spread, rng);
+  for (NodeId a : agents) {
+    const NodeId d = std::min((a + n - center) % n, (center + n - a) % n);
+    EXPECT_LE(d, spread);
+  }
+}
+
+TEST(Pointers, UniformAndRandom) {
+  const auto cw = pointers_uniform(16, kClockwise);
+  EXPECT_TRUE(std::all_of(cw.begin(), cw.end(),
+                          [](std::uint8_t p) { return p == kClockwise; }));
+  Rng rng(3);
+  const auto rnd = pointers_random(200, rng);
+  const auto ones = std::count(rnd.begin(), rnd.end(), 1);
+  EXPECT_GT(ones, 50);
+  EXPECT_LT(ones, 150);
+}
+
+TEST(Pointers, TowardTargetSendsFirstVisitorBack) {
+  // Thm 1 arrangement: every pointer lies on the shortest path to the
+  // target. An agent starting at the target and reaching virgin node v
+  // must be reflected toward the target again.
+  const NodeId n = 17, target = 5;
+  const auto p = pointers_toward(n, target);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == target) continue;
+    const NodeId cw_dist = (target + n - v) % n;
+    const NodeId acw_dist = (v + n - target) % n;
+    if (cw_dist < acw_dist) {
+      EXPECT_EQ(p[v], kClockwise) << "node " << v;
+    } else if (acw_dist < cw_dist) {
+      EXPECT_EQ(p[v], kAnticlockwise) << "node " << v;
+    }
+  }
+}
+
+TEST(Pointers, NegativeInitReflectsFirstVisit) {
+  // With pointers toward the nearest agent, the first visit to every node
+  // must be a reflection (the definition of negative initialization).
+  const NodeId n = 64;
+  const std::vector<NodeId> agents = {10, 40};
+  const auto ptrs = pointers_negative(n, agents);
+  RingRotorRouter probe(n, agents, ptrs);
+  probe.run_until_covered(8ULL * n * n);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_TRUE(probe.visited(v));
+  }
+  // Negative init forces Theta(n^2/k^2)-ish crawling, much slower than the
+  // n/k sweep a benign init would allow.
+  RingRotorRouter benign(n, agents, pointers_uniform(n, kClockwise));
+  const std::uint64_t fast = benign.run_until_covered(8ULL * n * n);
+  const std::uint64_t slow = probe.time();
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Pointers, NegativeInitPointsTowardNearestAgent) {
+  const NodeId n = 20;
+  const std::vector<NodeId> agents = {0, 10};
+  const auto p = pointers_negative(n, agents);
+  EXPECT_EQ(p[1], kAnticlockwise);  // nearest agent 0 is anticlockwise of 1
+  EXPECT_EQ(p[9], kClockwise);      // nearest agent 10 is clockwise of 9
+  EXPECT_EQ(p[11], kAnticlockwise);
+  EXPECT_EQ(p[19], kClockwise);
+}
+
+TEST(RemoteVertex, OppositeOfSingleClusterIsRemote) {
+  const NodeId n = 1000;
+  const auto agents = place_all_on_one(8, 0);
+  EXPECT_TRUE(is_remote_vertex(n, agents, 500));
+  EXPECT_FALSE(is_remote_vertex(n, agents, 0));
+  EXPECT_FALSE(is_remote_vertex(n, agents, 5));
+}
+
+TEST(RemoteVertex, Lemma15MostVerticesAreRemote) {
+  // Lemma 15: for any placement, at least ~0.8n - o(n) vertices are remote.
+  const NodeId n = 2000;
+  Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto agents = place_random(n, 50, rng);
+    const NodeId remote = count_remote_vertices(n, agents);
+    EXPECT_GE(remote, static_cast<NodeId>(0.6 * n)) << "trial " << trial;
+  }
+}
+
+TEST(RemoteVertex, EquallySpacedPlacementHasRemoteVertices) {
+  const NodeId n = 1000;
+  const auto agents = place_equally_spaced(n, 10);
+  EXPECT_GT(count_remote_vertices(n, agents), 0u);
+}
+
+TEST(RemoteAdversary, FindsVertexFarFromAllAgents) {
+  const NodeId n = 1200;
+  const auto agents = place_equally_spaced(n, 12);
+  const auto adv = adversarial_remote_init(n, agents);
+  ASSERT_TRUE(adv.found);
+  EXPECT_TRUE(is_remote_vertex(n, agents, adv.remote_vertex));
+  // Distance to the nearest agent should be at least ~n/(9k)-ish.
+  NodeId best = n;
+  for (NodeId a : agents) {
+    const NodeId d = std::min((a + n - adv.remote_vertex) % n,
+                              (adv.remote_vertex + n - a) % n);
+    best = std::min(best, d);
+  }
+  EXPECT_GE(best, n / (9 * 12));
+  EXPECT_EQ(adv.pointers.size(), n);
+}
+
+}  // namespace
+}  // namespace rr::core

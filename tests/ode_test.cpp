@@ -1,0 +1,106 @@
+// Tests for the continuous-time domain model (S13, Sec. 2.3): sqrt(t)
+// growth while uncovered, flat stationary profile when cyclic, total-size
+// monotonicity.
+
+#include "analysis/ode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/fit.hpp"
+
+namespace rr::analysis {
+namespace {
+
+TEST(Ode, EqualCyclicDomainsAreStationary) {
+  // With all nu_i equal and cyclic boundary, dnu/dt = 1/nu - 1/2nu - 1/2nu = 0.
+  ContinuousDomainModel model({10, 10, 10, 10}, Boundary::kCyclic);
+  model.run(50.0, 0.01);
+  for (double v : model.sizes()) {
+    EXPECT_NEAR(v, 10.0, 1e-9);
+  }
+}
+
+TEST(Ode, CyclicImbalanceEvensOut) {
+  ContinuousDomainModel model({6, 14, 10, 10}, Boundary::kCyclic);
+  model.run(2000.0, 0.05);
+  const double total = model.total();
+  for (double v : model.sizes()) {
+    EXPECT_NEAR(v, total / 4.0, 0.05 * total / 4.0);
+  }
+  EXPECT_NEAR(total, 40.0, 0.5);  // cyclic model conserves total size
+}
+
+TEST(Ode, UncoveredTotalGrows) {
+  ContinuousDomainModel model({5, 5, 5}, Boundary::kUncovered);
+  const double t0 = model.total();
+  model.run(100.0, 0.01);
+  EXPECT_GT(model.total(), t0);
+}
+
+TEST(Ode, UncoveredGrowthIsSqrtOfTime) {
+  // f(t) ~ sqrt(t): fit total size against time in log-log; slope ~ 0.5.
+  // Sample after the transient from the small initial sizes has washed out.
+  ContinuousDomainModel model(std::vector<double>(8, 4.0),
+                              Boundary::kUncovered);
+  std::vector<double> ts, totals;
+  double next_sample = 4000.0;
+  while (model.time() < 300000.0) {
+    model.step(0.25);
+    if (model.time() >= next_sample) {
+      ts.push_back(model.time());
+      totals.push_back(model.total());
+      next_sample *= 1.5;
+    }
+  }
+  const auto fit = fit_power_law(ts, totals);
+  EXPECT_NEAR(fit.slope, 0.5, 0.06);
+  EXPECT_GT(fit.r_squared, 0.995);
+}
+
+TEST(Ode, EdgeDomainsGrowFastest) {
+  // With the uncovered barrier the outermost domains (indices 1 and k)
+  // face no neighbor on one side and grow larger than interior ones.
+  ContinuousDomainModel model(std::vector<double>(6, 5.0),
+                              Boundary::kUncovered);
+  model.run(500.0, 0.02);
+  const auto& nu = model.sizes();
+  for (std::size_t i = 1; i + 1 < nu.size(); ++i) {
+    EXPECT_GT(nu.front(), nu[i]);
+    EXPECT_GT(nu.back(), nu[i]);
+  }
+}
+
+TEST(Ode, RunUntilTotalReportsCrossingTime) {
+  ContinuousDomainModel model({5, 5}, Boundary::kUncovered);
+  const double t = model.run_until_total(40.0, 0.01, 1e7);
+  EXPECT_GE(model.total(), 40.0);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1e7);
+}
+
+TEST(Ode, CoverTimePredictionScalesQuadratically) {
+  // Time for k equal domains to grow from ~1 to total n scales ~ (n)^2 in
+  // the continuous model (for fixed k): verify doubling n quadruples t.
+  auto cover_t = [](double n) {
+    ContinuousDomainModel m(std::vector<double>(4, 1.0), Boundary::kUncovered);
+    return m.run_until_total(n, 0.02, 1e9);
+  };
+  const double t1 = cover_t(100.0);
+  const double t2 = cover_t(200.0);
+  EXPECT_NEAR(t2 / t1, 4.0, 0.5);
+}
+
+TEST(OdeDeath, RejectsNonPositiveSizes) {
+  EXPECT_DEATH(ContinuousDomainModel({1.0, 0.0}, Boundary::kCyclic),
+               "positive");
+}
+
+TEST(OdeDeath, RejectsNonPositiveDt) {
+  ContinuousDomainModel m({1.0, 1.0}, Boundary::kCyclic);
+  EXPECT_DEATH(m.step(-0.1), "dt");
+}
+
+}  // namespace
+}  // namespace rr::analysis

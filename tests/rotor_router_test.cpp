@@ -1,0 +1,195 @@
+// Unit tests for the general-graph multi-agent rotor-router engine (S3):
+// exact Sec. 1.3 semantics, visit/exit accounting (Eqs. (2),(3)), coverage.
+
+#include "core/rotor_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace rr::core {
+namespace {
+
+using graph::Graph;
+
+TEST(RotorRouter, SingleAgentFollowsPointerAndAdvancesIt) {
+  Graph g = graph::star(4);  // center 0, leaves 1..3
+  RotorRouter rr(g, {0});
+  EXPECT_EQ(rr.agents_at(0), 1u);
+  rr.step();
+  // Agent left via port 0 (leaf 1); pointer advanced to port 1.
+  EXPECT_EQ(rr.agents_at(1), 1u);
+  EXPECT_EQ(rr.pointer(0), 1u);
+  rr.step();  // bounced back from the leaf
+  EXPECT_EQ(rr.agents_at(0), 1u);
+  rr.step();
+  EXPECT_EQ(rr.agents_at(2), 1u);  // round-robin: next leaf
+}
+
+TEST(RotorRouter, TwoAgentsOnOneNodeLeaveAlongConsecutivePorts) {
+  Graph g = graph::star(4);
+  RotorRouter rr(g, {0, 0});
+  rr.step();
+  EXPECT_EQ(rr.agents_at(1), 1u);
+  EXPECT_EQ(rr.agents_at(2), 1u);
+  EXPECT_EQ(rr.agents_at(3), 0u);
+  EXPECT_EQ(rr.pointer(0), 2u);  // advanced twice
+}
+
+TEST(RotorRouter, AgentCountIsConserved) {
+  Graph g = graph::torus(4, 4);
+  RotorRouter rr(g, {0, 0, 5, 9, 9, 9});
+  for (int t = 0; t < 200; ++t) {
+    rr.step();
+    std::uint32_t total = 0;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) total += rr.agents_at(v);
+    ASSERT_EQ(total, 6u) << "round " << t;
+  }
+}
+
+TEST(RotorRouter, VisitCountsSatisfyExitIdentity) {
+  // Eq. (2) with no delays: e_v(t+1) = n_v(t); checked as: after any round,
+  // exits of v == visits of v at previous round (every present agent moves).
+  Graph g = graph::ring(8);
+  RotorRouter rr(g, {2, 5});
+  std::vector<std::uint64_t> prev_visits(g.num_nodes());
+  for (int t = 0; t < 100; ++t) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      prev_visits[v] = rr.visits(v);
+    }
+    rr.step();
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(rr.exits(v), prev_visits[v]) << "node " << v << " round " << t;
+    }
+  }
+}
+
+TEST(RotorRouter, ArcTraversalFormulaHolds) {
+  // Paper Sec. 1.3: total traversals of arc (v,u) after any round equal
+  // ceil((e_v - port_v(u)) / deg(v)) where ports are labeled relative to
+  // the initial pointer. With initial pointers 0 the labels coincide with
+  // the static port numbers only at pointer-0 nodes, so run with all-zero
+  // pointers and verify via a reference simulation instead: count arrivals
+  // at u contributed by v.
+  Graph g = graph::clique(5);
+  RotorRouter rr(g, {0, 3});
+  // Reference arc counters.
+  std::vector<std::vector<std::uint64_t>> arc(g.num_nodes(),
+                                              std::vector<std::uint64_t>(5, 0));
+  std::vector<std::uint32_t> ptr(g.num_nodes(), 0);
+  std::vector<std::uint32_t> cnt(g.num_nodes(), 0);
+  cnt[0] = 1;
+  cnt[3] = 1;
+  for (int t = 0; t < 50; ++t) {
+    std::vector<std::uint32_t> nxt(g.num_nodes(), 0);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (std::uint32_t i = 0; i < cnt[v]; ++i) {
+        const std::uint32_t p = (ptr[v] + i) % g.degree(v);
+        ++arc[v][p];
+        ++nxt[g.neighbor(v, p)];
+      }
+      ptr[v] = (ptr[v] + cnt[v]) % g.degree(v);
+    }
+    cnt = nxt;
+    rr.step();
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(rr.agents_at(v), cnt[v]) << "round " << t;
+      std::uint64_t exits = 0;
+      for (std::uint32_t p = 0; p < g.degree(v); ++p) exits += arc[v][p];
+      ASSERT_EQ(rr.exits(v), exits);
+      // Round-robin fairness: port counts differ by at most 1.
+      std::uint64_t lo = ~0ULL, hi = 0;
+      for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+        lo = std::min(lo, arc[v][p]);
+        hi = std::max(hi, arc[v][p]);
+      }
+      ASSERT_LE(hi - lo, 1u);
+    }
+  }
+}
+
+TEST(RotorRouter, CoverTimeOnRingSingleAgentIsQuadraticallyBounded) {
+  Graph g = graph::ring(32);
+  RotorRouter rr(g, {0});
+  const std::uint64_t cover = rr.run_until_covered(10'000);
+  ASSERT_NE(cover, kNotCovered);
+  EXPECT_GE(cover, 31u);          // must at least reach the far side
+  EXPECT_LE(cover, 2u * 32 * 32); // Theta(n^2) upper bound with slack
+}
+
+TEST(RotorRouter, FirstVisitTimesAreMonotoneAlongDiscovery) {
+  Graph g = graph::ring(16);
+  RotorRouter rr(g, {0});
+  rr.run_until_covered(4096);
+  EXPECT_EQ(rr.first_visit_time(0), 0u);
+  for (graph::NodeId v = 0; v < 16; ++v) {
+    EXPECT_NE(rr.first_visit_time(v), kNotCovered);
+  }
+}
+
+TEST(RotorRouter, DelayedAgentsDoNotMove) {
+  Graph g = graph::ring(8);
+  RotorRouter rr(g, {4});
+  for (int t = 0; t < 10; ++t) {
+    rr.step_delayed([](graph::NodeId, std::uint64_t, std::uint32_t present) {
+      return present;  // hold everyone
+    });
+  }
+  EXPECT_EQ(rr.agents_at(4), 1u);
+  EXPECT_EQ(rr.visits(4), 1u);  // only the initial placement
+  EXPECT_EQ(rr.time(), 10u);
+}
+
+TEST(RotorRouter, PartialDelayReleasesSomeAgents) {
+  Graph g = graph::star(5);
+  RotorRouter rr(g, {0, 0, 0});
+  rr.step_delayed([](graph::NodeId v, std::uint64_t, std::uint32_t) {
+    return v == 0 ? 1u : 0u;  // hold one of the three
+  });
+  EXPECT_EQ(rr.agents_at(0), 1u);
+  EXPECT_EQ(rr.agents_at(1), 1u);
+  EXPECT_EQ(rr.agents_at(2), 1u);
+  EXPECT_EQ(rr.pointer(0), 2u);  // advanced only for the two movers
+}
+
+TEST(RotorRouter, ConfigHashChangesWithState) {
+  Graph g = graph::ring(12);
+  RotorRouter rr(g, {3});
+  const auto h0 = rr.config_hash();
+  rr.step();
+  EXPECT_NE(rr.config_hash(), h0);
+}
+
+TEST(RotorRouter, AgentPositionsMultiset) {
+  Graph g = graph::ring(6);
+  RotorRouter rr(g, {5, 2, 2});
+  const auto pos = rr.agent_positions();
+  ASSERT_EQ(pos.size(), 3u);
+  EXPECT_EQ(pos[0], 2u);
+  EXPECT_EQ(pos[1], 2u);
+  EXPECT_EQ(pos[2], 5u);
+}
+
+TEST(RotorRouter, InitialPointersRespected) {
+  Graph g = graph::ring(8);  // port 0 cw, port 1 acw
+  std::vector<std::uint32_t> ptrs(8, 1);  // all anticlockwise
+  RotorRouter rr(g, {4}, ptrs);
+  rr.step();
+  EXPECT_EQ(rr.agents_at(3), 1u);
+}
+
+TEST(RotorRouterDeath, RejectsDisconnectedGraph) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_DEATH(RotorRouter(g, {0}), "connected");
+}
+
+TEST(RotorRouterDeath, RejectsOutOfRangePointer) {
+  Graph g = graph::ring(4);
+  std::vector<std::uint32_t> ptrs(4, 7);
+  EXPECT_DEATH(RotorRouter(g, {0}, ptrs), "pointer out of range");
+}
+
+}  // namespace
+}  // namespace rr::core

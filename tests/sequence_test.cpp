@@ -1,0 +1,115 @@
+// Tests for the Lemma 13 sequence solver (S12): all six properties of the
+// lemma, across a range of k.
+
+#include "analysis/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stats.hpp"
+
+namespace rr::analysis {
+namespace {
+
+class Lemma13Test : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Lemma13Test, Property2StrictlyDecreasingWithFlatTail) {
+  const auto seq = compute_lemma13(GetParam());
+  const std::uint32_t k = seq.k;
+  for (std::uint32_t i = 1; i + 1 < k; ++i) {
+    EXPECT_GT(seq.a[i], seq.a[i + 1]) << "i " << i;
+  }
+  // a_{k+1} = a_k corresponds to b_{k+1} = b_k.
+  EXPECT_NEAR(seq.b[k + 1], seq.b[k], 1e-6 * seq.b[k]);
+}
+
+TEST_P(Lemma13Test, Property3SumsToOne) {
+  const auto seq = compute_lemma13(GetParam());
+  double sum = 0.0;
+  for (std::uint32_t i = 1; i <= seq.k; ++i) sum += seq.a[i];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(Lemma13Test, Property4Recurrence) {
+  // a_i * a_1 = 2 a_i - 1/a~_{i-1} - 1/a~_{i+1} -- stated via b:
+  // b_{i+1} = 2 b_i - b_{i-1} - 1/b_i. Verify in the numerically stable
+  // b-form for interior i (the a-form needs a_0 = inf handling).
+  const auto seq = compute_lemma13(GetParam());
+  for (std::uint32_t i = 1; i <= seq.k; ++i) {
+    const double lhs = seq.b[i + 1];
+    const double rhs = 2.0 * seq.b[i] - seq.b[i - 1] - 1.0 / seq.b[i];
+    EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, std::abs(lhs))) << "i " << i;
+  }
+}
+
+TEST_P(Lemma13Test, Property5FirstElementBracketedByHarmonics) {
+  const auto seq = compute_lemma13(GetParam());
+  const double hk = harmonic(seq.k);
+  EXPECT_GE(seq.a[1], 1.0 / (4.0 * (hk + 1.0)) * 0.999);
+  EXPECT_LE(seq.a[1], 1.0 / hk * 1.001);
+}
+
+TEST_P(Lemma13Test, Property6ElementwiseLowerBound) {
+  const auto seq = compute_lemma13(GetParam());
+  const double hk = harmonic(seq.k);
+  for (std::uint32_t i = 1; i <= seq.k; ++i) {
+    EXPECT_GE(seq.a[i], 1.0 / (4.0 * i * (hk + 1.0)) * 0.999) << "i " << i;
+  }
+}
+
+TEST_P(Lemma13Test, CEqualsInverseSqrtOfA1) {
+  // a_1 = 1/(c b_1) = 1/c^2.
+  const auto seq = compute_lemma13(GetParam());
+  EXPECT_NEAR(seq.a[1], 1.0 / (seq.c * seq.c), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossK, Lemma13Test,
+                         ::testing::Values(4u, 6u, 8u, 16u, 32u, 64u, 128u,
+                                           256u, 1024u));
+
+TEST(Lemma13, BoundaryGapMonotoneInC) {
+  // The bisection's premise: d_{k+1}(c) increases with c.
+  const std::uint32_t k = 32;
+  double prev = lemma13_boundary_gap(k, 1.0);
+  for (double c = 1.2; c < 6.0; c += 0.2) {
+    const double gap = lemma13_boundary_gap(k, c);
+    EXPECT_GE(gap, prev - 1e-9);
+    prev = gap;
+  }
+}
+
+TEST(Lemma13, PrefixSumsDecreasingFromOne) {
+  const auto seq = compute_lemma13(16);
+  EXPECT_NEAR(seq.p(1), 1.0, 1e-9);
+  for (std::uint32_t i = 1; i < 16; ++i) {
+    EXPECT_GT(seq.p(i), seq.p(i + 1));
+  }
+  EXPECT_NEAR(seq.p(16), seq.a[16], 1e-12);
+}
+
+TEST(Lemma13, PrefixFromMatchesP) {
+  const auto seq = compute_lemma13(12);
+  const auto pf = seq.prefix_from(1);
+  for (std::uint32_t i = 1; i <= 12; ++i) {
+    EXPECT_NEAR(pf[i], seq.p(i), 1e-12);
+  }
+}
+
+TEST(Lemma13, DomainProfileApproximatesInverseI) {
+  // Sec. 2.3: g(i) ~ Theta(i), i.e. a_i ~ 1/i up to log-ish corrections:
+  // check a_1/a_i stays within a constant factor of i.
+  const auto seq = compute_lemma13(64);
+  for (std::uint32_t i = 2; i <= 64; i *= 2) {
+    const double ratio = seq.a[1] / seq.a[i];
+    EXPECT_GT(ratio, 0.25 * i) << "i " << i;
+    EXPECT_LT(ratio, 4.0 * i) << "i " << i;
+  }
+}
+
+TEST(Lemma13Death, RejectsTinyK) {
+  EXPECT_DEATH(compute_lemma13(3), "k > 3");
+}
+
+}  // namespace
+}  // namespace rr::analysis

@@ -1,0 +1,92 @@
+// Tests for configuration serialization: round-trips, malformed-input
+// rejection, and exact checkpoint/resume of running engines.
+
+#include "core/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/initializers.hpp"
+
+namespace rr::core {
+namespace {
+
+TEST(Snapshot, SerializesCanonicalForm) {
+  RingConfig c{5, {0, 0, 3}, {0, 1, 1, 0, 1}};
+  EXPECT_EQ(to_text(c), "ring n=5 agents=0,0,3 pointers=cwwcw");
+}
+
+TEST(Snapshot, EmptyPointersSerializeAsAllClockwise) {
+  RingConfig c{4, {1}, {}};
+  EXPECT_EQ(to_text(c), "ring n=4 agents=1 pointers=cccc");
+}
+
+TEST(Snapshot, RoundTripsRandomConfigs) {
+  Rng rng(314);
+  for (int trial = 0; trial < 25; ++trial) {
+    RingConfig c;
+    c.n = 3 + rng.bounded(200);
+    const std::uint32_t k = 1 + rng.bounded(10);
+    c.agents = place_random(c.n, k, rng);
+    c.pointers = pointers_random(c.n, rng);
+    const auto parsed = ring_config_from_text(to_text(c));
+    ASSERT_TRUE(parsed.has_value()) << "trial " << trial;
+    EXPECT_EQ(parsed->n, c.n);
+    EXPECT_EQ(parsed->agents, c.agents);
+    EXPECT_EQ(parsed->pointers, c.pointers);
+  }
+}
+
+TEST(Snapshot, RejectsMalformedInput) {
+  EXPECT_FALSE(ring_config_from_text("").has_value());
+  EXPECT_FALSE(ring_config_from_text("ring n=").has_value());
+  EXPECT_FALSE(ring_config_from_text("ring n=abc agents=0").has_value());
+  EXPECT_FALSE(ring_config_from_text("ring n=2 agents=0 pointers=cc")
+                   .has_value());  // n too small
+  EXPECT_FALSE(ring_config_from_text("ring n=5 agents=9 pointers=ccccc")
+                   .has_value());  // agent out of range
+  EXPECT_FALSE(ring_config_from_text("ring n=5 agents=0 pointers=ccc")
+                   .has_value());  // pointer string too short
+  EXPECT_FALSE(ring_config_from_text("ring n=5 agents=0 pointers=ccxcc")
+                   .has_value());  // bad pointer char
+  EXPECT_FALSE(ring_config_from_text("torus n=5 agents=0 pointers=ccccc")
+                   .has_value());  // wrong header
+}
+
+TEST(Snapshot, CheckpointResumesExactly) {
+  // Run A for 500 rounds; checkpoint at 200 and run the resumed engine for
+  // 300: identical final configurations.
+  RingConfig start{40, place_equally_spaced(40, 3), {}};
+  start.pointers = pointers_negative(40, start.agents);
+  RingRotorRouter full = start.make();
+  full.run(200);
+  const RingConfig mid = checkpoint(full);
+  RingRotorRouter resumed = mid.make();
+  full.run(300);
+  resumed.run(300);
+  for (NodeId v = 0; v < 40; ++v) {
+    ASSERT_EQ(full.agents_at(v), resumed.agents_at(v)) << "v " << v;
+    ASSERT_EQ(full.pointer(v), resumed.pointer(v)) << "v " << v;
+  }
+}
+
+TEST(Snapshot, CheckpointRoundTripsThroughText) {
+  RingConfig start{24, {0, 0, 12, 17}, {}};
+  RingRotorRouter rr = start.make();
+  rr.run(77);
+  const RingConfig cp = checkpoint(rr);
+  const auto parsed = ring_config_from_text(to_text(cp));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->agents, cp.agents);
+  EXPECT_EQ(parsed->pointers, cp.pointers);
+}
+
+TEST(Snapshot, CheckpointPreservesAgentCount) {
+  RingConfig start{30, place_all_on_one(7, 4), pointers_toward(30, 4)};
+  RingRotorRouter rr = start.make();
+  rr.run(123);
+  EXPECT_EQ(checkpoint(rr).agents.size(), 7u);
+}
+
+}  // namespace
+}  // namespace rr::core

@@ -1,0 +1,84 @@
+// Tests for statistics utilities (S11).
+
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/parallel.hpp"
+
+namespace rr::analysis {
+namespace {
+
+TEST(RunningStats, MeanAndVarianceOfKnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 5);
+  for (int i = 0; i < 1000; ++i) large.add(i % 5);
+  EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenValues) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+TEST(Quantile, ExtremesOfLargerSample) {
+  const std::vector<double> xs = {5.0, 1.0, 9.0, 3.0, 7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Harmonic, KnownValues) {
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(100), std::log(100.0) + 0.5772156649, 0.006);
+}
+
+TEST(ParallelTrials, ResultsInTrialOrderAndDeterministic) {
+  auto fn = [](std::uint64_t i) { return static_cast<double>(i * i); };
+  const auto r1 = parallel_trials(64, fn, 4);
+  const auto r2 = parallel_trials(64, fn, 2);
+  ASSERT_EQ(r1.size(), 64u);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(r1[i], static_cast<double>(i * i));
+    EXPECT_DOUBLE_EQ(r1[i], r2[i]);
+  }
+}
+
+TEST(ParallelTrials, SingleThreadFallback) {
+  const auto r = parallel_trials(5, [](std::uint64_t i) { return i + 1.0; }, 1);
+  EXPECT_DOUBLE_EQ(r[4], 5.0);
+}
+
+TEST(ParallelStats, FoldsIntoRunningStats) {
+  const auto s =
+      parallel_stats(100, [](std::uint64_t i) { return static_cast<double>(i); });
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 49.5);
+}
+
+}  // namespace
+}  // namespace rr::analysis

@@ -1,0 +1,45 @@
+// Tests for the markdown table printer (S15).
+
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rr::analysis {
+namespace {
+
+TEST(Table, RendersAlignedMarkdown) {
+  Table t({"n", "cover"});
+  t.add_row({"64", "4096"});
+  t.add_row({"128", "16384"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| n   | cover |"), std::string::npos);
+  EXPECT_NE(out.find("| 64  | 4096  |"), std::string::npos);
+  EXPECT_NE(out.find("| 128 | 16384 |"), std::string::npos);
+  EXPECT_NE(out.find("|-----|-------|"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, IntegerFormats) {
+  EXPECT_EQ(Table::integer(0), "0");
+  EXPECT_EQ(Table::integer(123456789ULL), "123456789");
+}
+
+TEST(Table, SciFormats) {
+  EXPECT_EQ(Table::sci(123456.0, 2), "1.23e+05");
+}
+
+TEST(TableDeath, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace rr::analysis

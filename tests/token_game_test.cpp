@@ -1,0 +1,100 @@
+// Tests for the Lemma 8 token game (S14): legality, conservation, and the
+// invariant min stack >= eta - 5k + 5 under adversarial and random play.
+
+#include "analysis/token_game.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rr::analysis {
+namespace {
+
+TEST(TokenGame, InitialStateIsUniform) {
+  TokenGame game(5, 100);
+  EXPECT_EQ(game.num_stacks(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(game.stack(i), 100u);
+  EXPECT_EQ(game.total(), 500u);
+  EXPECT_EQ(game.moves_made(), 0u);
+}
+
+TEST(TokenGame, LegalityRule) {
+  TokenGame game(3, 50);
+  EXPECT_TRUE(game.legal(0, 1));   // equal heights: destination has 0 more
+  EXPECT_FALSE(game.legal(0, 0));  // self-move
+  // Each 2->1 move widens the 1-vs-2 difference by 2; legal while
+  // stacks[1] <= stacks[2] + 8, i.e. for exactly 5 moves.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(game.try_move(2, 1)) << i;
+  EXPECT_EQ(game.stack(1), 55u);
+  EXPECT_EQ(game.stack(2), 45u);
+  EXPECT_FALSE(game.legal(2, 1));  // 55 > 45 + 8
+  EXPECT_TRUE(game.legal(0, 1));   // 55 <= 50 + 8
+  EXPECT_TRUE(game.legal(1, 2));   // downhill is always legal
+}
+
+TEST(TokenGame, IllegalMoveIsRejectedWithoutEffect) {
+  TokenGame game(2, 10);
+  for (int i = 0; i < 50; ++i) game.try_move(0, 1);
+  // Each move widens the difference by 2 starting from 0, and is legal
+  // while stacks[1] <= stacks[0] + 8: exactly 5 succeed (final diff 10).
+  EXPECT_EQ(game.stack(1), 15u);
+  EXPECT_EQ(game.stack(0), 5u);
+  EXPECT_EQ(game.moves_made(), 5u);
+  EXPECT_EQ(game.total(), 20u);
+}
+
+TEST(TokenGame, TotalIsConserved) {
+  TokenGame game(4, 30);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    game.try_move(rng.bounded(4), rng.bounded(4));
+    ASSERT_EQ(game.total(), 120u);
+  }
+}
+
+TEST(TokenGame, CannotMoveFromEmptyStack) {
+  TokenGame game(2, 0);
+  EXPECT_FALSE(game.legal(0, 1));
+  EXPECT_FALSE(game.try_move(0, 1));
+}
+
+class TokenGameInvariant
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(TokenGameInvariant, AdversarialPlayRespectsLemma8Bound) {
+  const auto [k, eta] = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const std::uint64_t min_seen =
+        adversarial_min_stack(k, eta, 20000, seed);
+    const std::int64_t bound =
+        static_cast<std::int64_t>(eta) - 5 * static_cast<std::int64_t>(k) + 5;
+    EXPECT_GE(static_cast<std::int64_t>(min_seen), bound)
+        << "k=" << k << " eta=" << eta << " seed=" << seed;
+  }
+}
+
+TEST_P(TokenGameInvariant, RandomPlayRespectsLemma8Bound) {
+  const auto [k, eta] = GetParam();
+  const std::uint64_t min_seen = random_play_min_stack(k, eta, 50000, 99);
+  const std::int64_t bound =
+      static_cast<std::int64_t>(eta) - 5 * static_cast<std::int64_t>(k) + 5;
+  EXPECT_GE(static_cast<std::int64_t>(min_seen), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TokenGameInvariant,
+    ::testing::Values(std::make_tuple(2u, 50ULL), std::make_tuple(4u, 60ULL),
+                      std::make_tuple(8u, 100ULL), std::make_tuple(16u, 200ULL),
+                      std::make_tuple(32u, 400ULL)));
+
+TEST(TokenGame, AdversaryActuallyDrainsSomething) {
+  // Sanity: the adversary does push below eta (the bound is not vacuous).
+  const std::uint64_t min_seen = adversarial_min_stack(8, 100, 20000, 3);
+  EXPECT_LT(min_seen, 100u);
+}
+
+TEST(TokenGame, InvariantBoundFormula) {
+  TokenGame game(8, 100);
+  EXPECT_EQ(game.invariant_bound(), 100 - 40 + 5);
+}
+
+}  // namespace
+}  // namespace rr::analysis
