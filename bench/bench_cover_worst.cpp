@@ -5,17 +5,23 @@
 // fixed n (ratio must be flat in k), for the canonical adversarial pointer
 // arrangement (all pointers along the shortest path to the start node) and
 // the arbitrary-pointer variants covered by Lemma 14 / Thm 2.
+//
+// Every sweep cell is an independent deterministic cover run; the batched
+// sim::Runner fans them across the thread pool and hands the results back
+// in grid order for printing.
 
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "analysis/experiment.hpp"
 #include "analysis/fit.hpp"
 #include "analysis/table.hpp"
 #include "common/rng.hpp"
 #include "core/cover_time.hpp"
 #include "core/initializers.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -23,28 +29,49 @@ using rr::analysis::Table;
 using rr::core::NodeId;
 using rr::core::RingConfig;
 
+rr::sim::Runner& runner() {
+  static rr::sim::Runner r;
+  return r;
+}
+
 double cover(NodeId n, std::uint32_t k, std::vector<std::uint8_t> ptrs) {
   RingConfig c{n, rr::core::place_all_on_one(k, 0), std::move(ptrs)};
   const auto t = rr::core::ring_cover_time(c);
   return static_cast<double>(t);
 }
 
+/// Fans `cover` over a (n, k) grid: jobs.size() independent runs.
+std::vector<double> cover_grid(
+    const std::vector<std::pair<NodeId, std::uint32_t>>& grid) {
+  return runner().map(grid.size(), [&](std::uint64_t i) {
+    const auto [n, k] = grid[i];
+    return cover(n, k, rr::core::pointers_toward(n, 0));
+  });
+}
+
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Worst-placement cover time of the k-agent rotor-router",
       "Thms 1-2, Lemma 14: Theta(n^2/log k), all agents on one node");
 
-  const auto base_n = static_cast<NodeId>(rr::analysis::scaled_pow2(512));
+  const auto base_n = static_cast<NodeId>(rr::sim::scaled_pow2(512));
 
   // --- Sweep n at fixed k (Thm 1 arrangement). ---
   {
+    std::vector<std::pair<NodeId, std::uint32_t>> grid;
+    for (std::uint32_t k : {4u, 16u, 64u}) {
+      for (NodeId n = base_n; n <= 8 * base_n; n *= 2) grid.push_back({n, k});
+    }
+    const std::vector<double> covers = cover_grid(grid);
+
     Table t({"k", "n", "cover", "n^2/log2(k)", "ratio"});
+    std::size_t cell = 0;
     for (std::uint32_t k : {4u, 16u, 64u}) {
       std::vector<double> ns, cs;
       for (NodeId n = base_n; n <= 8 * base_n; n *= 2) {
-        const double c = cover(n, k, rr::core::pointers_toward(n, 0));
+        const double c = covers[cell++];
         const double pred =
             static_cast<double>(n) * n / std::log2(static_cast<double>(k));
         t.add_row({Table::integer(k), Table::integer(n), Table::integer(
@@ -64,19 +91,22 @@ int main() {
   // --- Sweep k at fixed n: ratio to n^2/log2 k flat in k. ---
   {
     const NodeId n = 4 * base_n;
+    std::vector<std::pair<NodeId, std::uint32_t>> grid;
+    for (std::uint32_t k = 2; k <= 256; k *= 4) grid.push_back({n, k});
+    const std::vector<double> covers = cover_grid(grid);
+
     Table t({"n", "k", "cover", "n^2/log2(k)", "ratio", "speed-up vs k=2"});
-    std::vector<double> ks, ratios;
-    double cover2 = 0.0;
+    std::vector<double> ratios;
+    const double cover2 = covers.front();
+    std::size_t cell = 0;
     for (std::uint32_t k = 2; k <= 256; k *= 4) {
-      const double c = cover(n, k, rr::core::pointers_toward(n, 0));
-      if (k == 2) cover2 = c;
+      const double c = covers[cell++];
       const double pred =
           static_cast<double>(n) * n / std::log2(static_cast<double>(k));
       t.add_row({Table::integer(n), Table::integer(k),
                  Table::integer(static_cast<std::uint64_t>(c)),
                  Table::sci(pred), Table::num(c / pred, 3),
                  Table::num(cover2 / c, 2)});
-      ks.push_back(k);
       ratios.push_back(c / pred);
     }
     t.print();
@@ -92,18 +122,27 @@ int main() {
     const NodeId n = 4 * base_n;
     const std::uint32_t k = 16;
     rr::Rng rng(12345);
-    Table t({"pointer init", "cover", "vs shortest-path-to-start"});
-    const double canonical = cover(n, k, rr::core::pointers_toward(n, 0));
-    t.add_row({"shortest path to start (Thm 1)",
-               Table::integer(static_cast<std::uint64_t>(canonical)), "1.00"});
-    const double uniform = cover(n, k, rr::core::pointers_uniform(n, 0));
-    t.add_row({"all clockwise", Table::integer(static_cast<std::uint64_t>(uniform)),
-               Table::num(uniform / canonical, 2)});
+    // Pointer vectors drawn serially (the RNG stream is ordered); covers
+    // fanned across the pool.
+    std::vector<std::pair<std::string, std::vector<std::uint8_t>>> inits;
+    inits.emplace_back("shortest path to start (Thm 1)",
+                       rr::core::pointers_toward(n, 0));
+    inits.emplace_back("all clockwise", rr::core::pointers_uniform(n, 0));
     for (int i = 0; i < 3; ++i) {
-      const double r = cover(n, k, rr::core::pointers_random(n, rng));
-      t.add_row({"random #" + std::to_string(i),
-                 Table::integer(static_cast<std::uint64_t>(r)),
-                 Table::num(r / canonical, 2)});
+      inits.emplace_back("random #" + std::to_string(i),
+                         rr::core::pointers_random(n, rng));
+    }
+    const std::vector<double> covers =
+        runner().map(inits.size(), [&](std::uint64_t i) {
+          return cover(n, k, inits[i].second);
+        });
+
+    Table t({"pointer init", "cover", "vs shortest-path-to-start"});
+    const double canonical = covers.front();
+    for (std::size_t i = 0; i < inits.size(); ++i) {
+      t.add_row({inits[i].first,
+                 Table::integer(static_cast<std::uint64_t>(covers[i])),
+                 Table::num(covers[i] / canonical, 2)});
     }
     t.print();
     std::printf("\nAll-on-one with ANY pointers stays O(n^2/log k)"
@@ -115,11 +154,18 @@ int main() {
   // n^2/log k shape should persist even for polynomially large k. ---
   {
     const NodeId n = base_n * 2;
+    const std::vector<std::uint32_t> ks = {
+        static_cast<std::uint32_t>(base_n) / 8,
+        static_cast<std::uint32_t>(base_n) / 2,
+        static_cast<std::uint32_t>(base_n) * 2};
+    std::vector<std::pair<NodeId, std::uint32_t>> grid;
+    for (std::uint32_t k : ks) grid.push_back({n, k});
+    const std::vector<double> covers = cover_grid(grid);
+
     Table t({"n", "k", "k vs n", "cover", "n^2/log2(k)", "ratio"});
-    for (std::uint32_t k : {static_cast<std::uint32_t>(base_n) / 8,
-                            static_cast<std::uint32_t>(base_n) / 2,
-                            static_cast<std::uint32_t>(base_n) * 2}) {
-      const double c = cover(n, k, rr::core::pointers_toward(n, 0));
+    std::size_t cell = 0;
+    for (std::uint32_t k : ks) {
+      const double c = covers[cell++];
       const double pred =
           static_cast<double>(n) * n / std::log2(static_cast<double>(k));
       t.add_row({Table::integer(n), Table::integer(k),

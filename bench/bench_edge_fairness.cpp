@@ -30,7 +30,7 @@ struct Fairness {
 };
 
 Fairness arc_fairness(const rr::core::RotorRouter& rr) {
-  const Graph& g = rr.graph();
+  const rr::graph::CsrGraph& g = rr.graph();  // engines expose the CSR view
   Fairness f{~std::uint64_t{0}, 0};
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     for (std::uint32_t p = 0; p < g.degree(v); ++p) {

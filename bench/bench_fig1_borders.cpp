@@ -24,8 +24,7 @@ using rr::core::NodeId;
 void render_border(const rr::core::RingRotorRouter& rr,
                    const rr::core::DomainSnapshot& snap, std::size_t d) {
   const auto& a = snap.domains[d];
-  const auto& b = snap.domains[(d + 1) % snap.domains.size()];
-  // Window: last 6 nodes of a through first 6 of b.
+  // Window: last 6 nodes of a through the first 6 of the next domain.
   const NodeId n = rr.num_nodes();
   const NodeId a_end = static_cast<NodeId>((a.begin + a.size - 1) % n);
   std::string line_nodes, line_marks;

@@ -1,17 +1,26 @@
 // P-1: engine micro-benchmarks (google-benchmark).
 //
 // Throughput of the three simulation engines: the ring-specialized
-// rotor-router (O(#occupied)/round), the general-graph rotor-router, and
-// the batched ring random walks. Reported as agent-steps per second so the
-// experiment-harness budgets in DESIGN.md can be checked.
+// rotor-router (O(#occupied)/round), the general-graph rotor-router (CSR-
+// backed), and the batched ring random walks. Reported as agent-steps per
+// second so the experiment-harness budgets in DESIGN.md can be checked.
+//
+// Also measured here: the cost of the sim::Engine facade (polymorphic
+// stepping through a base pointer vs the concrete devirtualized loop) and
+// the batched sim::Runner fanning cover-time trials across the pool.
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
 
 #include "core/cover_time.hpp"
 #include "core/initializers.hpp"
 #include "core/ring_rotor_router.hpp"
 #include "core/rotor_router.hpp"
 #include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+#include "walk/random_walk.hpp"
 #include "walk/ring_walk.hpp"
 
 namespace {
@@ -80,6 +89,62 @@ void BM_CoverTimeWorstCase(benchmark::State& state) {
 }
 BENCHMARK(BM_CoverTimeWorstCase)->Arg(512)->Arg(1024)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
+
+// Stepping each engine through the sim::Engine base pointer: the price of
+// the facade relative to the concrete benchmarks above (engines are final,
+// so only truly polymorphic call sites pay it).
+void BM_EnginePolymorphicStep(benchmark::State& state) {
+  const rr::sim::NodeId n = 1 << 12;
+  const std::uint32_t k = 8;
+  const auto agents = rr::core::place_equally_spaced(n, k);
+  rr::graph::Graph g = rr::graph::ring(n);
+  std::unique_ptr<rr::sim::Engine> engine;
+  switch (state.range(0)) {
+    case 0:
+      engine = std::make_unique<rr::core::RingRotorRouter>(n, agents);
+      break;
+    case 1:
+      engine = std::make_unique<rr::core::RotorRouter>(g, agents);
+      break;
+    default:
+      engine = std::make_unique<rr::walk::GraphRandomWalks>(g, agents, 42);
+      break;
+  }
+  for (auto _ : state) {
+    engine->step();
+    benchmark::DoNotOptimize(engine->covered_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+  state.SetLabel(engine->engine_name());
+}
+BENCHMARK(BM_EnginePolymorphicStep)->Arg(0)->Arg(1)->Arg(2);
+
+// The batched Runner fanning full cover-time trials (engine factory per
+// trial) across the thread pool: throughput of the experiment harness
+// itself, in covers per second.
+void BM_RunnerCoverBatch(benchmark::State& state) {
+  const auto trials = static_cast<std::uint64_t>(state.range(0));
+  rr::graph::Graph g = rr::graph::torus(32, 32);
+  rr::sim::Runner runner;
+  for (auto _ : state) {
+    auto stats = runner.cover_stats(
+        trials,
+        [&](std::uint64_t trial) -> std::unique_ptr<rr::sim::Engine> {
+          if (trial % 2 == 0) {
+            return std::make_unique<rr::core::RotorRouter>(
+                g, std::vector<rr::graph::NodeId>{0});
+          }
+          return std::make_unique<rr::walk::GraphRandomWalks>(
+              g, std::vector<rr::graph::NodeId>{0}, 1000 + trial);
+        },
+        ~0ULL / 2);
+    benchmark::DoNotOptimize(stats.mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trials));
+  state.SetLabel("threads=" + std::to_string(runner.num_threads()));
+}
+BENCHMARK(BM_RunnerCoverBatch)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -11,11 +11,10 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/experiment.hpp"
-#include "analysis/parallel.hpp"
 #include "analysis/table.hpp"
 #include "core/cover_time.hpp"
 #include "core/initializers.hpp"
+#include "sim/runner.hpp"
 #include "walk/ring_walk.hpp"
 
 namespace {
@@ -24,9 +23,15 @@ using rr::analysis::Table;
 using rr::core::NodeId;
 using rr::core::RingConfig;
 
+// One pool for every Monte-Carlo estimate in this driver.
+rr::sim::Runner& runner() {
+  static rr::sim::Runner r;
+  return r;
+}
+
 double walk_cover_mean(NodeId n, const std::vector<NodeId>& starts,
                        std::uint64_t trials, std::uint64_t seed) {
-  return rr::analysis::parallel_stats(trials, [&](std::uint64_t i) {
+  return runner().stats(trials, [&](std::uint64_t i) {
     rr::walk::RingRandomWalks w(n, starts, seed + 31 * i);
     return static_cast<double>(w.run_until_covered(~0ULL / 2));
   }).mean();
@@ -35,13 +40,13 @@ double walk_cover_mean(NodeId n, const std::vector<NodeId>& starts,
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Speed-up of k agents over a single agent",
       "Table 1 consequences + Conclusions: log k .. k^2 (rotor), "
       "log k .. k^2/log^2 k (walks), k (return)");
 
-  const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(1024));
-  const std::uint64_t trials = rr::analysis::scaled(16, 6);
+  const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(1024));
+  const std::uint64_t trials = rr::sim::scaled(16, 6);
 
   // Single-agent baselines.
   RingConfig single{n, {0}, rr::core::pointers_toward(n, 0)};

@@ -11,13 +11,15 @@
 //   ./build/examples/exploration_race
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "analysis/parallel.hpp"
 #include "analysis/table.hpp"
 #include "core/cover_time.hpp"
+#include "core/rotor_router.hpp"
 #include "graph/generators.hpp"
+#include "sim/runner.hpp"
 #include "walk/random_walk.hpp"
 
 namespace {
@@ -47,17 +49,30 @@ int main() {
   graphs.push_back({"random_4_regular(256)", rr::graph::random_regular(256, 4, 9)});
   graphs.push_back({"lollipop(192,64)", rr::graph::lollipop(192, 64)});
 
+  // Both engines run through the same batched runner: trial 0 is the
+  // deterministic rotor-router, trials 1..20 the random-walk replicas.
+  rr::sim::Runner runner;
   for (std::uint32_t k : {1u, 4u, 16u}) {
     Table t({"topology (k=" + std::to_string(k) + ")", "rotor-router cover",
              "random-walk cover (mean)", "walks/rotor"});
     for (const auto& e : graphs) {
       const std::vector<NodeId> starts(k, 0);
-      const auto rr_cover = rr::core::graph_cover_time(e.g, starts);
-      const auto walk_mean =
-          rr::analysis::parallel_stats(20, [&](std::uint64_t i) {
-            rr::walk::GraphRandomWalks w(e.g, starts, 500 + 37 * i + k);
-            return static_cast<double>(w.run_until_covered(~0ULL / 2));
-          }).mean();
+      const auto covers = runner.cover_times(
+          21,
+          [&](std::uint64_t trial) -> std::unique_ptr<rr::sim::Engine> {
+            if (trial == 0) {
+              return std::make_unique<rr::core::RotorRouter>(e.g, starts);
+            }
+            return std::make_unique<rr::walk::GraphRandomWalks>(
+                e.g, starts, 500 + 37 * (trial - 1) + k);
+          },
+          ~0ULL / 2);
+      const auto rr_cover = covers.front();
+      double walk_mean = 0.0;
+      for (std::size_t i = 1; i < covers.size(); ++i) {
+        walk_mean += static_cast<double>(covers[i]);
+      }
+      walk_mean /= static_cast<double>(covers.size() - 1);
       t.add_row({e.name, Table::integer(rr_cover),
                  Table::num(walk_mean, 0),
                  Table::num(walk_mean / static_cast<double>(rr_cover), 2)});

@@ -7,11 +7,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "core/cover_time.hpp"
 #include "core/domains.hpp"
 #include "core/initializers.hpp"
 #include "core/ring_rotor_router.hpp"
+#include "sim/runner.hpp"
 #include "walk/ring_walk.hpp"
 
 int main(int argc, char** argv) {
@@ -60,14 +62,17 @@ int main(int argc, char** argv) {
               n / k);
 
   // 5) The randomized baseline: k parallel random walks from the same
-  //    placement (expectation over 10 trials).
-  double mean = 0.0;
-  for (int trial = 0; trial < 10; ++trial) {
+  //    placement (expectation over 10 trials, fanned across the batched
+  //    runner's thread pool).
+  rr::sim::Runner runner;
+  const auto walk_stats = runner.stats(10, [&](std::uint64_t trial) {
     rr::walk::RingRandomWalks walks(n, best.agents, 1000 + trial);
-    mean += static_cast<double>(walks.run_until_covered(~0ULL / 2));
-  }
+    return static_cast<double>(walks.run_until_covered(~0ULL / 2));
+  });
   std::printf("k random walks from the same placement:        %.0f rounds"
-              " (mean of 10 trials)\n",
-              mean / 10.0);
+              " (mean of %llu trials, +-%.0f at 95%%)\n",
+              walk_stats.mean(),
+              static_cast<unsigned long long>(walk_stats.count()),
+              walk_stats.ci95());
   return 0;
 }

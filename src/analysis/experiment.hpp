@@ -1,47 +1,17 @@
 #pragma once
 
-// Bench-harness knobs (S15).
-//
-// Every bench binary reads RR_BENCH_SCALE (a positive float, default 1.0)
-// and scales its instance sizes / trial counts by it, so the same binaries
-// serve both a quick smoke run (`for b in build/bench/*; do $b; done`,
-// minutes total) and a high-fidelity overnight run (RR_BENCH_SCALE=4+).
+// Back-compat shim (S15): the bench-harness knobs (RR_BENCH_SCALE scaling,
+// headers) moved into the batched runner, sim/runner.hpp, alongside the
+// thread pool they parameterize. Existing bench drivers keep including this
+// header; new code should include sim/runner.hpp directly.
 
-#include <cstdint>
-#include <cstdio>
-#include <cstdlib>
-#include <string>
+#include "sim/runner.hpp"
 
 namespace rr::analysis {
 
-inline double bench_scale() {
-  if (const char* env = std::getenv("RR_BENCH_SCALE")) {
-    const double s = std::atof(env);
-    if (s > 0.0) return s;
-  }
-  return 1.0;
-}
-
-/// base * scale, rounded, at least `min_value`.
-inline std::uint64_t scaled(std::uint64_t base, std::uint64_t min_value = 1) {
-  const double v = static_cast<double>(base) * bench_scale();
-  const auto r = static_cast<std::uint64_t>(v + 0.5);
-  return r < min_value ? min_value : r;
-}
-
-/// Scales and rounds to the next power of two (ring sizes sweep cleanly).
-inline std::uint64_t scaled_pow2(std::uint64_t base) {
-  std::uint64_t v = scaled(base, 4);
-  std::uint64_t p = 1;
-  while (p < v) p <<= 1;
-  return p;
-}
-
-inline void print_bench_header(const std::string& title,
-                               const std::string& paper_ref) {
-  std::printf("\n## %s\n\n", title.c_str());
-  std::printf("Paper reference: %s | RR_BENCH_SCALE=%.2f\n\n",
-              paper_ref.c_str(), bench_scale());
-}
+using sim::bench_scale;
+using sim::print_bench_header;
+using sim::scaled;
+using sim::scaled_pow2;
 
 }  // namespace rr::analysis

@@ -1,56 +1,48 @@
 #pragma once
 
-// Thread-pooled trial runner (S15). Monte-Carlo estimates of random-walk
-// expectations need many independent trials; `parallel_trials` spreads
-// them over hardware threads deterministically (trial i always receives
-// the same derived seed regardless of scheduling).
+// Back-compat shim (S15): the thread-pooled trial runner is now
+// sim::Runner (sim/runner.hpp) — one batched implementation fanning any
+// engine or estimator across hardware threads. These wrappers preserve the
+// old free-function API (trial i always receives the same index, results in
+// trial order); new code should hold a sim::Runner and reuse its pool.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <thread>
 #include <vector>
 
 #include "analysis/stats.hpp"
-#include "common/require.hpp"
+#include "sim/runner.hpp"
 
 namespace rr::analysis {
+
+namespace detail {
+/// These shims build a throwaway pool per call, so never spawn more
+/// workers than there are trials (a single trial runs inline).
+inline unsigned trial_threads(std::uint64_t trials, unsigned max_threads) {
+  unsigned threads =
+      max_threads ? max_threads : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  return static_cast<unsigned>(std::min<std::uint64_t>(threads, trials));
+}
+}  // namespace detail
 
 /// Runs `fn(trial_index)` for indices [0, trials); returns the results in
 /// trial order. `max_threads` 0 = hardware concurrency.
 inline std::vector<double> parallel_trials(
     std::uint64_t trials, const std::function<double(std::uint64_t)>& fn,
     unsigned max_threads = 0) {
-  RR_REQUIRE(trials > 0, "need at least one trial");
-  unsigned threads = max_threads ? max_threads : std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  threads = static_cast<unsigned>(
-      std::min<std::uint64_t>(threads, trials));
-
-  std::vector<double> results(trials);
-  if (threads == 1) {
-    for (std::uint64_t i = 0; i < trials; ++i) results[i] = fn(i);
-    return results;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back([&, t] {
-      for (std::uint64_t i = t; i < trials; i += threads) {
-        results[i] = fn(i);
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
-  return results;
+  sim::Runner runner(detail::trial_threads(trials, max_threads));
+  return runner.map(trials, fn);
 }
 
 /// Convenience: run trials and fold into RunningStats.
 inline RunningStats parallel_stats(
     std::uint64_t trials, const std::function<double(std::uint64_t)>& fn,
     unsigned max_threads = 0) {
-  RunningStats stats;
-  for (double x : parallel_trials(trials, fn, max_threads)) stats.add(x);
-  return stats;
+  sim::Runner runner(detail::trial_threads(trials, max_threads));
+  return runner.stats(trials, fn);
 }
 
 }  // namespace rr::analysis

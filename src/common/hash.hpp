@@ -1,0 +1,23 @@
+#pragma once
+
+// FNV-1a configuration hashing, shared by every sim::Engine implementation
+// so the engines' config_hash values stay structurally comparable and a
+// change to the mixing never has to be replicated per engine.
+
+#include <cstdint>
+
+namespace rr {
+
+class Fnv1a {
+ public:
+  constexpr void mix(std::uint64_t x) {
+    h_ ^= x;
+    h_ *= 1099511628211ULL;
+  }
+  constexpr std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ULL;
+};
+
+}  // namespace rr

@@ -32,3 +32,10 @@ namespace rr::detail {
 #else
 #define RR_ASSERT(cond, msg) RR_REQUIRE(cond, msg)
 #endif
+
+// Marks a code path that must not be reached (e.g. the fall-through of an
+// exhaustive search whose success is a precondition). Expands to a call of
+// a [[noreturn]] function, so control flow provably ends here: functions
+// may use it on their failure path without a dummy return value.
+#define RR_UNREACHABLE(msg) \
+  ::rr::detail::require_failed("unreachable", __FILE__, __LINE__, msg)

@@ -65,12 +65,14 @@ class ReleaseFromSource {
 
 /// Runs a delayed deployment while tracking the quantities of Lemma 3:
 /// T (rounds elapsed) and tau (rounds in which no agent was delayed).
+/// Written once against the engine contract: works with any engine that
+/// exposes step_delayed (all sim::Engine implementations do, ring or not).
 class SlowdownTracker {
  public:
   /// `delay(v,t,present)` as for step_delayed. Advances `rr` by one round
   /// and records whether the round was fully active.
-  template <typename DelayFn>
-  void step(RingRotorRouter& rr, DelayFn&& delay) {
+  template <typename Engine, typename DelayFn>
+  void step(Engine& rr, DelayFn&& delay) {
     bool any_delayed = false;
     rr.step_delayed([&](NodeId v, std::uint64_t t, std::uint32_t present) {
       std::uint32_t d = delay(v, t, present);

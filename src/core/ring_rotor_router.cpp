@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hash.hpp"
+
 namespace rr::core {
 
 RingRotorRouter::RingRotorRouter(NodeId n, const std::vector<NodeId>& agents,
@@ -103,15 +105,6 @@ void RingRotorRouter::commit_arrivals() {
   touched_.clear();
 }
 
-std::uint64_t RingRotorRouter::run_until_covered(std::uint64_t max_rounds) {
-  if (all_covered()) return 0;
-  while (time_ < max_rounds) {
-    step();
-    if (all_covered()) return time_;
-  }
-  return kRingNotCovered;
-}
-
 std::vector<NodeId> RingRotorRouter::agent_positions() const {
   std::vector<NodeId> pos;
   pos.reserve(num_agents_);
@@ -123,16 +116,12 @@ std::vector<NodeId> RingRotorRouter::agent_positions() const {
 }
 
 std::uint64_t RingRotorRouter::config_hash() const {
-  std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint64_t x) {
-    h ^= x;
-    h *= 1099511628211ULL;
-  };
+  Fnv1a h;
   for (NodeId v = 0; v < n_; ++v) {
-    mix(pointers_[v]);
-    mix(counts_[v]);
+    h.mix(pointers_[v]);
+    h.mix(counts_[v]);
   }
-  return h;
+  return h.value();
 }
 
 }  // namespace rr::core

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/require.hpp"
+#include "sim/engine.hpp"
 
 namespace rr::core {
 
@@ -26,16 +27,16 @@ using NodeId = std::uint32_t;
 inline constexpr std::uint8_t kClockwise = 0;
 inline constexpr std::uint8_t kAnticlockwise = 1;
 
-constexpr std::uint64_t kRingNotCovered = ~std::uint64_t{0};
+inline constexpr std::uint64_t kRingNotCovered = sim::kNotCovered;
 
-class RingRotorRouter {
+class RingRotorRouter final : public sim::Engine {
  public:
   /// `agents`: multiset of starting nodes; `pointers`: per-node initial
   /// pointer (0 = clockwise, 1 = anticlockwise), empty means all clockwise.
   RingRotorRouter(NodeId n, const std::vector<NodeId>& agents,
                   std::vector<std::uint8_t> pointers = {});
 
-  void step() {
+  void step() override {
     step_delayed([](NodeId, std::uint64_t, std::uint32_t) { return 0u; });
   }
 
@@ -58,30 +59,26 @@ class RingRotorRouter {
     commit_arrivals();
   }
 
-  void run(std::uint64_t rounds) {
-    for (std::uint64_t i = 0; i < rounds; ++i) step();
-  }
-
-  /// Runs until full coverage; returns cover time (absolute round) or
-  /// kRingNotCovered if `max_rounds` (absolute cap) elapsed first.
-  std::uint64_t run_until_covered(std::uint64_t max_rounds);
-
-  NodeId num_nodes() const { return n_; }
-  std::uint64_t time() const { return time_; }
-  std::uint32_t num_agents() const { return num_agents_; }
+  NodeId num_nodes() const override { return n_; }
+  std::uint64_t time() const override { return time_; }
+  std::uint32_t num_agents() const override { return num_agents_; }
 
   std::uint32_t agents_at(NodeId v) const { return counts_[v]; }
   std::uint8_t pointer(NodeId v) const { return pointers_[v]; }
   const std::vector<NodeId>& occupied_nodes() const { return occupied_; }
+  /// Number of occupied-list entries; commit_arrivals keeps this equal to
+  /// the number of nodes hosting at least one agent (no stale growth).
+  std::size_t occupied_count() const { return occupied_.size(); }
 
-  std::uint64_t visits(NodeId v) const { return visits_[v]; }
+  std::uint64_t visits(NodeId v) const override { return visits_[v]; }
   std::uint64_t exits(NodeId v) const { return exits_[v]; }
-  std::uint64_t first_visit_time(NodeId v) const { return first_visit_[v]; }
+  std::uint64_t first_visit_time(NodeId v) const override {
+    return first_visit_[v];
+  }
   std::uint64_t last_visit_time(NodeId v) const { return last_visit_[v]; }
   bool visited(NodeId v) const { return first_visit_[v] != kRingNotCovered; }
 
-  NodeId covered_count() const { return covered_; }
-  bool all_covered() const { return covered_ == n_; }
+  NodeId covered_count() const override { return covered_; }
 
   /// True iff the last *completed* visit to v (arrival followed by
   /// departure) was by a single agent and was a propagation (Definition 1).
@@ -90,12 +87,17 @@ class RingRotorRouter {
   }
 
   std::vector<NodeId> agent_positions() const;
-  std::uint64_t config_hash() const;
+  std::uint64_t config_hash() const override;
+
+  const char* engine_name() const override { return "ring-rotor-router"; }
 
   NodeId clockwise(NodeId v) const { return v + 1 == n_ ? 0 : v + 1; }
   NodeId anticlockwise(NodeId v) const { return v == 0 ? n_ - 1 : v - 1; }
 
  private:
+  void do_step_delayed(const sim::DelayFn& delay) override {
+    step_delayed(delay);
+  }
   void depart(NodeId v, std::uint32_t moving);
   void commit_arrivals();
   void arrive(NodeId u, std::uint32_t count, std::uint8_t travel_dir);

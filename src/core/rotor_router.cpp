@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "common/hash.hpp"
+
 namespace rr::core {
 
 RotorRouter::RotorRouter(const Graph& g, const std::vector<NodeId>& agents,
                          std::vector<std::uint32_t> pointers)
-    : graph_(&g),
+    : csr_(g),
       num_agents_(static_cast<std::uint32_t>(agents.size())),
       counts_(g.num_nodes(), 0),
       arrivals_(g.num_nodes(), 0),
@@ -40,7 +42,9 @@ RotorRouter::RotorRouter(const Graph& g, const std::vector<NodeId>& agents,
 
 void RotorRouter::commit_arrivals() {
   // Drop stale entries (nodes fully vacated this round) and add newly
-  // occupied nodes; `counts_ > 0` is the membership invariant.
+  // occupied nodes; `counts_ > 0` is the membership invariant, so the
+  // occupied list never outgrows the set of nodes hosting agents (delayed
+  // deployments included).
   std::size_t w = 0;
   for (std::size_t i = 0; i < occupied_.size(); ++i) {
     if (counts_[occupied_[i]] > 0) occupied_[w++] = occupied_[i];
@@ -62,19 +66,6 @@ void RotorRouter::commit_arrivals() {
   touched_.clear();
 }
 
-std::uint64_t RotorRouter::run_until_covered(std::uint64_t max_rounds) {
-  if (all_covered()) return 0;
-  std::uint64_t cover_time = kNotCovered;
-  while (time_ < max_rounds) {
-    step();
-    if (all_covered()) {
-      cover_time = time_;
-      break;
-    }
-  }
-  return cover_time;
-}
-
 std::vector<NodeId> RotorRouter::agent_positions() const {
   std::vector<NodeId> pos;
   pos.reserve(num_agents_);
@@ -86,16 +77,12 @@ std::vector<NodeId> RotorRouter::agent_positions() const {
 }
 
 std::uint64_t RotorRouter::config_hash() const {
-  std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint64_t x) {
-    h ^= x;
-    h *= 1099511628211ULL;
-  };
-  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
-    mix(pointers_[v]);
-    mix(counts_[v]);
+  Fnv1a h;
+  for (NodeId v = 0; v < csr_.num_nodes(); ++v) {
+    h.mix(pointers_[v]);
+    h.mix(counts_[v]);
   }
-  return h;
+  return h.value();
 }
 
 }  // namespace rr::core

@@ -10,6 +10,10 @@
 // deg v), then advances pi_v by c. Agents are indistinguishable, so the
 // engine stores per-node counts rather than identities.
 //
+// The engine snapshots the graph's port-ordered adjacency into a CsrGraph
+// at construction, so the stepping loops scan flat arrays instead of
+// chasing nested vectors; permute ports on the Graph before constructing.
+//
 // The engine also maintains the bookkeeping used throughout the paper's
 // analysis: n_v(t) (visits including the initial placement, Eq. (3)),
 // e_v(t) (exits, Eq. (2)), first/last visit times and coverage.
@@ -21,24 +25,29 @@
 #include <vector>
 
 #include "common/require.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
+#include "sim/engine.hpp"
 
 namespace rr::core {
 
+using graph::CsrGraph;
 using graph::Graph;
 using graph::NodeId;
 
-constexpr std::uint64_t kNotCovered = ~std::uint64_t{0};
+inline constexpr std::uint64_t kNotCovered = sim::kNotCovered;
 
-class RotorRouter {
+class RotorRouter final : public sim::Engine {
  public:
   /// `agents`: multiset of starting nodes (k = agents.size()).
   /// `pointers`: initial pi_v per node; empty means all ports 0.
+  /// The graph's adjacency is snapshotted (CSR); later mutation of `g` does
+  /// not affect this engine.
   RotorRouter(const Graph& g, const std::vector<NodeId>& agents,
               std::vector<std::uint32_t> pointers = {});
 
   /// One synchronous round with no delays.
-  void step() {
+  void step() override {
     step_delayed([](NodeId, std::uint64_t, std::uint32_t) { return 0u; });
   }
 
@@ -57,11 +66,12 @@ class RotorRouter {
       if (held > present) held = present;
       const std::uint32_t moving = present - held;
       if (moving == 0) continue;
-      const std::uint32_t deg = graph_->degree(v);
+      const std::uint32_t deg = csr_.degree_unchecked(v);
       RR_ASSERT(deg > 0, "agent stranded on isolated node");
+      const NodeId* row = csr_.row(v);
       std::uint32_t ptr = pointers_[v];
       for (std::uint32_t i = 0; i < moving; ++i) {
-        const NodeId u = graph_->neighbor(v, ptr);
+        const NodeId u = row[ptr];
         if (arrivals_[u] == 0) touched_.push_back(u);
         ++arrivals_[u];
         ptr = ptr + 1 == deg ? 0 : ptr + 1;
@@ -73,25 +83,22 @@ class RotorRouter {
     commit_arrivals();
   }
 
-  void run(std::uint64_t rounds) {
-    for (std::uint64_t i = 0; i < rounds; ++i) step();
-  }
-
-  /// Runs until every node has been visited; returns the cover time (round
-  /// of the last first-visit) or kNotCovered if `max_rounds` elapsed first.
-  std::uint64_t run_until_covered(std::uint64_t max_rounds);
-
-  std::uint64_t time() const { return time_; }
-  const Graph& graph() const { return *graph_; }
-  std::uint32_t num_agents() const { return num_agents_; }
+  std::uint64_t time() const override { return time_; }
+  const CsrGraph& graph() const { return csr_; }
+  NodeId num_nodes() const override { return csr_.num_nodes(); }
+  std::uint32_t num_agents() const override { return num_agents_; }
 
   std::uint32_t agents_at(NodeId v) const { return counts_[v]; }
   std::uint32_t pointer(NodeId v) const { return pointers_[v]; }
   const std::vector<std::uint32_t>& pointers() const { return pointers_; }
+  const std::vector<NodeId>& occupied_nodes() const { return occupied_; }
+  /// Number of occupied-list entries; commit_arrivals keeps this equal to
+  /// the number of nodes hosting at least one agent (no stale growth).
+  std::size_t occupied_count() const { return occupied_.size(); }
 
   /// n_v(t): total visits to v in rounds [1,t] plus agents placed at v
   /// initially (paper's n_v(0) convention).
-  std::uint64_t visits(NodeId v) const { return visits_[v]; }
+  std::uint64_t visits(NodeId v) const override { return visits_[v]; }
   /// e_v(t): total exits from v in rounds [1,t].
   std::uint64_t exits(NodeId v) const { return exits_[v]; }
 
@@ -102,7 +109,7 @@ class RotorRouter {
   /// measurements without per-arc counters.
   std::uint64_t arc_traversals(NodeId v, std::uint32_t port) const {
     RR_REQUIRE(v < counts_.size(), "node out of range");
-    const std::uint32_t deg = graph_->degree(v);
+    const std::uint32_t deg = csr_.degree(v);
     RR_REQUIRE(port < deg, "port out of range");
     const std::uint32_t label = (port + deg - initial_pointers_[v]) % deg;
     const std::uint64_t e = exits_[v];
@@ -110,22 +117,28 @@ class RotorRouter {
   }
 
   /// Round of the first visit (0 for initial hosts), kNotCovered if none.
-  std::uint64_t first_visit_time(NodeId v) const { return first_visit_[v]; }
+  std::uint64_t first_visit_time(NodeId v) const override {
+    return first_visit_[v];
+  }
   std::uint64_t last_visit_time(NodeId v) const { return last_visit_[v]; }
 
-  NodeId covered_count() const { return covered_; }
-  bool all_covered() const { return covered_ == graph_->num_nodes(); }
+  NodeId covered_count() const override { return covered_; }
 
   /// Sorted multiset of agent positions (for tests / hashing).
   std::vector<NodeId> agent_positions() const;
 
   /// FNV-1a hash of (pointers, agent counts): identifies a configuration.
-  std::uint64_t config_hash() const;
+  std::uint64_t config_hash() const override;
+
+  const char* engine_name() const override { return "rotor-router"; }
 
  private:
+  void do_step_delayed(const sim::DelayFn& delay) override {
+    step_delayed(delay);
+  }
   void commit_arrivals();
 
-  const Graph* graph_;
+  CsrGraph csr_;
   std::uint32_t num_agents_;
   std::uint64_t time_ = 0;
   NodeId covered_ = 0;

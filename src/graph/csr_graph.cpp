@@ -1,0 +1,54 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rr::graph {
+
+CsrGraph::CsrGraph(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  offsets_.resize(static_cast<std::size_t>(n) + 1);
+  offsets_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + g.degree(v);
+  }
+  neighbors_.resize(offsets_[n]);
+  sorted_ports_.resize(offsets_[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto row = g.neighbors(v);
+    std::copy(row.begin(), row.end(), neighbors_.begin() + offsets_[v]);
+    auto* ports = sorted_ports_.data() + offsets_[v];
+    std::iota(ports, ports + row.size(), 0u);
+    const NodeId* heads = neighbors_.data() + offsets_[v];
+    std::sort(ports, ports + row.size(),
+              [heads](std::uint32_t a, std::uint32_t b) {
+                return heads[a] != heads[b] ? heads[a] < heads[b] : a < b;
+              });
+  }
+}
+
+std::uint32_t CsrGraph::port_to(NodeId v, NodeId u) const {
+  RR_REQUIRE(v < num_nodes() && u < num_nodes(), "node out of range");
+  const NodeId* heads = neighbors_.data() + offsets_[v];
+  const std::uint32_t* first = sorted_ports_.data() + offsets_[v];
+  const std::uint32_t* last = sorted_ports_.data() + offsets_[v + 1];
+  const std::uint32_t* it = std::lower_bound(
+      first, last, u,
+      [heads](std::uint32_t port, NodeId target) { return heads[port] < target; });
+  RR_REQUIRE(it != last && heads[*it] == u,
+             "port_to: no edge between the given nodes");
+  return *it;  // ties sort by port, so this is the smallest matching port
+}
+
+bool CsrGraph::has_edge(NodeId v, NodeId u) const {
+  if (v >= num_nodes() || u >= num_nodes()) return false;
+  const NodeId* heads = neighbors_.data() + offsets_[v];
+  const std::uint32_t* first = sorted_ports_.data() + offsets_[v];
+  const std::uint32_t* last = sorted_ports_.data() + offsets_[v + 1];
+  const std::uint32_t* it = std::lower_bound(
+      first, last, u,
+      [heads](std::uint32_t port, NodeId target) { return heads[port] < target; });
+  return it != last && heads[*it] == u;
+}
+
+}  // namespace rr::graph

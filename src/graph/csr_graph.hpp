@@ -1,0 +1,87 @@
+#pragma once
+
+// Compressed-sparse-row view of a Graph (flat graph substrate).
+//
+// `Graph` stores adjacency as vector<vector<NodeId>>: every neighbor access
+// in a simulation round chases an outer pointer, so large instances walk the
+// heap instead of a cache line. CsrGraph flattens the same port-ordered
+// adjacency into two arrays — `offsets_` (n+1 prefix sums of degrees) and
+// `neighbors_` (all 2|E| arc heads, port order preserved per node) — so a
+// round over the occupied nodes does contiguous scans. The simulation
+// engines build one at construction time and run every inner loop on it;
+// `Graph` remains the mutable builder/query type (generators, permute_ports,
+// BFS diagnostics).
+//
+// Port semantics are identical to Graph: `neighbor(v, p)` is the arc head
+// reached from v through port p, and the cyclic successor of p is
+// (p+1) mod deg(v). The CSR view is immutable; permute ports on the Graph
+// *before* constructing the view.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/require.hpp"
+#include "graph/graph.hpp"
+
+namespace rr::graph {
+
+class CsrGraph {
+ public:
+  explicit CsrGraph(const Graph& g);
+
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(offsets_.size() - 1);
+  }
+  std::size_t num_edges() const { return neighbors_.size() / 2; }
+  /// Number of arcs in the directed symmetric version (2|E|).
+  std::size_t num_arcs() const { return neighbors_.size(); }
+
+  std::uint32_t degree(NodeId v) const {
+    RR_REQUIRE(v < num_nodes(), "node out of range");
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Node reached from `v` through port `p`.
+  NodeId neighbor(NodeId v, std::uint32_t p) const {
+    RR_REQUIRE(v < num_nodes(), "node out of range");
+    RR_REQUIRE(p < offsets_[v + 1] - offsets_[v], "port out of range");
+    return neighbors_[offsets_[v] + p];
+  }
+
+  /// Neighbors of `v` in port order.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    RR_REQUIRE(v < num_nodes(), "node out of range");
+    return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  // ---- unchecked hot-path accessors (engine inner loops) ----
+
+  /// Pointer to the port-ordered neighbor row of `v`; valid for
+  /// [0, degree(v)) without bounds checks.
+  const NodeId* row(NodeId v) const { return neighbors_.data() + offsets_[v]; }
+  std::uint32_t degree_unchecked(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Smallest port at `v` leading to `u` (paper's port_v(u)); O(log deg v)
+  /// via the neighbor-sorted port index (Graph::port_to is O(deg)).
+  /// Requires the edge to exist.
+  std::uint32_t port_to(NodeId v, NodeId u) const;
+
+  /// O(log deg v) membership test.
+  bool has_edge(NodeId v, NodeId u) const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // n+1 prefix sums of degrees
+  std::vector<NodeId> neighbors_;     // arc heads, port order per node
+
+  // Per-node port permutation sorted by (neighbor, port): sorted_ports_[i]
+  // for i in [offsets_[v], offsets_[v+1]) enumerates v's ports so that
+  // neighbors_[offsets_[v] + sorted_ports_[i]] is nondecreasing, with ties
+  // (parallel edges) broken by smaller port. Supports binary-search
+  // port_to/has_edge without disturbing the cyclic port order.
+  std::vector<std::uint32_t> sorted_ports_;
+};
+
+}  // namespace rr::graph

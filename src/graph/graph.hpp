@@ -65,13 +65,13 @@ class Graph {
   }
 
   /// Smallest port at `v` leading to `u` (paper's port_v(u)); requires the
-  /// edge to exist.
+  /// edge to exist. O(deg v); CsrGraph::port_to offers the indexed lookup.
   std::uint32_t port_to(NodeId v, NodeId u) const {
     RR_REQUIRE(v < num_nodes() && u < num_nodes(), "node out of range");
     for (std::uint32_t p = 0; p < adj_[v].size(); ++p) {
       if (adj_[v][p] == u) return p;
     }
-    RR_REQUIRE(false, "port_to: no edge between the given nodes");
+    RR_UNREACHABLE("port_to: no edge between the given nodes");
   }
 
   bool has_edge(NodeId v, NodeId u) const {

@@ -1,0 +1,50 @@
+#pragma once
+
+// Engine-generic limit-cycle detection (paper Sec. 4, interface version).
+//
+// Deterministic engines (both rotor-routers) are finite-state, so the
+// sequence of configurations must enter a cycle. Brent's algorithm over
+// `config_hash()` finds the period of that cycle for *any* sim::Engine with
+// O(1) memory — no per-engine snapshot type needed. Hash equality is
+// probabilistic (64-bit FNV over the full configuration), which is ample
+// for test/bench-scale instances; core/limit_cycle.hpp keeps the exact
+// ring-specific machinery (full-state equality plus per-node gap scans).
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/engine.hpp"
+
+namespace rr::sim {
+
+struct HashCycle {
+  std::uint64_t period = 0;
+  /// A round at which the engine is (with 64-bit-hash confidence) inside
+  /// the cycle; equals the engine's time when detection succeeded.
+  std::uint64_t detected_at = 0;
+};
+
+/// Advances `engine` until a configuration hash repeats (Brent), or until
+/// `max_steps` additional rounds have elapsed. The engine is left at the
+/// detection round on success.
+inline std::optional<HashCycle> detect_hash_cycle(Engine& engine,
+                                                  std::uint64_t max_steps) {
+  std::uint64_t power = 1;
+  std::uint64_t lambda = 1;
+  std::uint64_t tortoise = engine.config_hash();
+  for (std::uint64_t steps = 0; steps < max_steps; ++steps) {
+    engine.step();
+    if (engine.config_hash() == tortoise) {
+      return HashCycle{lambda, engine.time()};
+    }
+    if (power == lambda) {
+      tortoise = engine.config_hash();
+      power *= 2;
+      lambda = 0;
+    }
+    ++lambda;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rr::sim

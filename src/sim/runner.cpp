@@ -1,0 +1,137 @@
+#include "sim/runner.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace rr::sim {
+
+// Batch protocol: for_each publishes (fn, jobs, generation) under the lock
+// and wakes the workers. A worker that observes a new generation counts
+// itself active *before* releasing the lock, drains the shared job counter,
+// then counts itself out. The caller drains too, and a batch is complete
+// only when the job counter is exhausted AND no worker is still active —
+// which also guarantees no worker can touch a stale `fn` after for_each
+// returns (a worker that slept through a whole batch wakes to find the next
+// generation and reads the then-current parameters).
+struct Runner::Pool {
+  std::mutex mu;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+  const std::function<void(std::uint64_t)>* fn = nullptr;
+  std::uint64_t jobs = 0;
+  std::atomic<std::uint64_t> next{0};
+  std::uint64_t generation = 0;
+  unsigned active = 0;  // workers currently inside drain(); guarded by mu
+  bool stop = false;
+
+  // Claims and runs jobs of the current batch until none are left.
+  void drain() {
+    const auto* f = fn;
+    const std::uint64_t count = jobs;
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*f)(i);
+    }
+  }
+};
+
+Runner::Runner(unsigned max_threads) : pool_(std::make_unique<Pool>()) {
+  unsigned threads =
+      max_threads ? max_threads : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  // The caller participates in every batch, so spawn threads-1 workers.
+  for (unsigned t = 1; t < threads; ++t) {
+    workers_.push_back(std::make_unique<std::jthread>([this] {
+      Pool& p = *pool_;
+      std::uint64_t seen_generation = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(p.mu);
+          // `fn != nullptr` keeps stragglers that slept through a whole
+          // batch from entering drain() with stale parameters: a finished
+          // batch unpublishes fn under the lock, so late wakers go back to
+          // sleep until the next publish.
+          p.work_ready.wait(lock, [&] {
+            return p.stop || (p.generation != seen_generation && p.fn != nullptr);
+          });
+          if (p.stop) return;
+          seen_generation = p.generation;
+          ++p.active;
+        }
+        p.drain();
+        {
+          std::lock_guard<std::mutex> lock(p.mu);
+          if (--p.active == 0) p.batch_done.notify_all();
+        }
+      }
+    }));
+  }
+}
+
+Runner::~Runner() {
+  {
+    std::lock_guard<std::mutex> lock(pool_->mu);
+    pool_->stop = true;
+  }
+  pool_->work_ready.notify_all();
+  workers_.clear();  // jthread joins on destruction
+}
+
+void Runner::for_each(std::uint64_t jobs,
+                      const std::function<void(std::uint64_t)>& fn) {
+  RR_REQUIRE(jobs > 0, "need at least one job");
+  Pool& p = *pool_;
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    p.fn = &fn;
+    p.jobs = jobs;
+    p.next.store(0, std::memory_order_relaxed);
+    ++p.generation;
+  }
+  p.work_ready.notify_all();
+  p.drain();  // the caller is a worker too; returns once all jobs are claimed
+  std::unique_lock<std::mutex> lock(p.mu);
+  p.batch_done.wait(lock, [&] { return p.active == 0; });
+  p.fn = nullptr;
+}
+
+std::vector<double> Runner::map(
+    std::uint64_t jobs, const std::function<double(std::uint64_t)>& fn) {
+  std::vector<double> results(jobs);
+  for_each(jobs, [&](std::uint64_t i) { results[i] = fn(i); });
+  return results;
+}
+
+analysis::RunningStats Runner::stats(
+    std::uint64_t jobs, const std::function<double(std::uint64_t)>& fn) {
+  analysis::RunningStats s;
+  for (double x : map(jobs, fn)) s.add(x);
+  return s;
+}
+
+std::vector<std::uint64_t> Runner::cover_times(std::uint64_t trials,
+                                               const EngineFactory& factory,
+                                               std::uint64_t max_rounds) {
+  std::vector<std::uint64_t> covers(trials);
+  for_each(trials, [&](std::uint64_t i) {
+    covers[i] = factory(i)->run_until_covered(max_rounds);
+  });
+  return covers;
+}
+
+analysis::RunningStats Runner::cover_stats(std::uint64_t trials,
+                                           const EngineFactory& factory,
+                                           std::uint64_t max_rounds) {
+  analysis::RunningStats s;
+  for (std::uint64_t c : cover_times(trials, factory, max_rounds)) {
+    RR_REQUIRE(c != kNotCovered,
+               "cover-time trial exceeded max_rounds; raise the cap");
+    s.add(static_cast<double>(c));
+  }
+  return s;
+}
+
+}  // namespace rr::sim

@@ -1,0 +1,124 @@
+#pragma once
+
+// Batched engine runner (sim layer).
+//
+// Every bench/example driver used to hand-roll its trial loop: spawn
+// threads, derive seeds, fold statistics. `Runner` is the single batched
+// implementation: a persistent thread pool that fans *any* job — engine
+// trials across seeds, sweeps across graph sizes, Monte-Carlo estimates —
+// over hardware threads with deterministic results (job i always computes
+// the same value regardless of scheduling; results come back in job order).
+//
+// Engine-aware conveniences (`cover_times`, `cover_stats`) build a fresh
+// sim::Engine per trial through a factory and run it to coverage, so the
+// same driver line serves rotor-routers and random walks alike.
+//
+// The bench-scale knobs (RR_BENCH_SCALE) live here too: they were split
+// across analysis/experiment.hpp and analysis/parallel.hpp before; both
+// headers now forward to this one.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "common/require.hpp"
+#include "sim/engine.hpp"
+
+namespace rr::sim {
+
+// ---- bench-harness knobs ----
+//
+// Every bench binary reads RR_BENCH_SCALE (a positive float, default 1.0)
+// and scales its instance sizes / trial counts by it, so the same binaries
+// serve both a quick smoke run and a high-fidelity overnight run
+// (RR_BENCH_SCALE=4+).
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("RR_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return 1.0;
+}
+
+/// base * scale, rounded, at least `min_value`.
+inline std::uint64_t scaled(std::uint64_t base, std::uint64_t min_value = 1) {
+  const double v = static_cast<double>(base) * bench_scale();
+  const auto r = static_cast<std::uint64_t>(v + 0.5);
+  return r < min_value ? min_value : r;
+}
+
+/// Scales and rounds to the next power of two (ring sizes sweep cleanly).
+inline std::uint64_t scaled_pow2(std::uint64_t base) {
+  std::uint64_t v = scaled(base, 4);
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+inline void print_bench_header(const std::string& title,
+                               const std::string& paper_ref) {
+  std::printf("\n## %s\n\n", title.c_str());
+  std::printf("Paper reference: %s | RR_BENCH_SCALE=%.2f\n\n",
+              paper_ref.c_str(), bench_scale());
+}
+
+// ---- the batched runner ----
+
+class Runner {
+ public:
+  /// `max_threads` 0 = hardware concurrency. The calling thread always
+  /// participates, so a Runner on a single-core machine runs jobs inline.
+  explicit Runner(unsigned max_threads = 0);
+  ~Runner();
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Worker threads plus the participating caller.
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(i) for i in [0, jobs) across the pool; blocks until all jobs
+  /// finished. Jobs are claimed dynamically (good for skewed runtimes).
+  void for_each(std::uint64_t jobs,
+                const std::function<void(std::uint64_t)>& fn);
+
+  /// Runs fn over [0, jobs); returns the results in job order.
+  std::vector<double> map(std::uint64_t jobs,
+                          const std::function<double(std::uint64_t)>& fn);
+
+  /// map + fold into RunningStats (mean/stddev/ci95/min/max).
+  analysis::RunningStats stats(std::uint64_t jobs,
+                               const std::function<double(std::uint64_t)>& fn);
+
+  /// Builds an engine per trial and runs it to coverage. Returns per-trial
+  /// cover times (kNotCovered entries where `max_rounds` elapsed first).
+  using EngineFactory =
+      std::function<std::unique_ptr<Engine>(std::uint64_t trial)>;
+  std::vector<std::uint64_t> cover_times(std::uint64_t trials,
+                                         const EngineFactory& factory,
+                                         std::uint64_t max_rounds);
+
+  /// cover_times folded into stats; requires every trial to cover within
+  /// `max_rounds` (aborts otherwise — raise the cap).
+  analysis::RunningStats cover_stats(std::uint64_t trials,
+                                     const EngineFactory& factory,
+                                     std::uint64_t max_rounds);
+
+ private:
+  struct Pool;  // worker state (mutex/condvars), hidden from headers
+  void work_until_drained();
+
+  std::vector<std::unique_ptr<std::jthread>> workers_;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace rr::sim

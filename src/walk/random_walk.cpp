@@ -2,44 +2,39 @@
 
 #include <cmath>
 
+#include "common/hash.hpp"
+
 namespace rr::walk {
 
 GraphRandomWalks::GraphRandomWalks(const graph::Graph& g,
                                    std::vector<graph::NodeId> starts,
                                    std::uint64_t seed)
-    : graph_(&g),
+    : csr_(g),
       rng_(seed),
       pos_(std::move(starts)),
-      visited_(g.num_nodes(), 0) {
+      visits_(g.num_nodes(), 0),
+      first_visit_(g.num_nodes(), kGraphWalkNotCovered),
+      present_(g.num_nodes(), 0),
+      hold_left_(g.num_nodes(), 0) {
   RR_REQUIRE(!pos_.empty(), "at least one walker required");
   for (graph::NodeId v : pos_) {
     RR_REQUIRE(v < g.num_nodes(), "walker start out of range");
-    if (!visited_[v]) {
-      visited_[v] = 1;
-      ++covered_;
-    }
+    // Every reachable node is someone's neighbor (degree >= 1), so checking
+    // the starts keeps the stepping loop free of bounds checks.
+    RR_REQUIRE(g.degree(v) > 0, "walker start on isolated node");
+    record_visit(v);  // time_ == 0: initial placement counts as a visit
   }
 }
 
 void GraphRandomWalks::step() {
   ++time_;
-  for (auto& p : pos_) {
-    const std::uint32_t deg = graph_->degree(p);
-    p = graph_->neighbor(p, deg == 1 ? 0 : rng_.bounded(deg));
-    if (!visited_[p]) {
-      visited_[p] = 1;
-      ++covered_;
-    }
-  }
+  for (auto& p : pos_) move_walker(p);
 }
 
-std::uint64_t GraphRandomWalks::run_until_covered(std::uint64_t max_rounds) {
-  if (all_covered()) return 0;
-  while (time_ < max_rounds) {
-    step();
-    if (all_covered()) return time_;
-  }
-  return kGraphWalkNotCovered;
+std::uint64_t GraphRandomWalks::config_hash() const {
+  Fnv1a h;
+  for (graph::NodeId p : pos_) h.mix(p);
+  return h.value();
 }
 
 CoverEstimate estimate_graph_cover_time(const graph::Graph& g,

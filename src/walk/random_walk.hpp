@@ -4,48 +4,118 @@
 //
 // Used for cross-topology comparisons (exploration race example, Yanovski
 // baseline) and for validating the ring-specialized engine against the
-// generic one on graph::ring(n).
+// generic one on graph::ring(n). Implements sim::Engine, so batched
+// runners and polymorphic drivers treat it exactly like the deterministic
+// rotor-routers; the adjacency is snapshotted into a CsrGraph so each
+// walker step is a flat-array load.
+//
+// Delayed deployments (`step_delayed`) hold D(v,t) of the walkers present
+// at v for the round, mirroring the rotor-router semantics (which walkers
+// are held is arbitrary — they are exchangeable — but deterministic: the
+// lowest-indexed walkers at v stay).
 
 #include <cstdint>
 #include <vector>
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
+#include "sim/engine.hpp"
 
 namespace rr::walk {
 
-constexpr std::uint64_t kGraphWalkNotCovered = ~std::uint64_t{0};
+inline constexpr std::uint64_t kGraphWalkNotCovered = sim::kNotCovered;
 
-class GraphRandomWalks {
+class GraphRandomWalks final : public sim::Engine {
  public:
   GraphRandomWalks(const graph::Graph& g, std::vector<graph::NodeId> starts,
                    std::uint64_t seed);
 
-  void step();
-  void run(std::uint64_t rounds) {
-    for (std::uint64_t i = 0; i < rounds; ++i) step();
-  }
-  std::uint64_t run_until_covered(std::uint64_t max_rounds);
+  void step() override;
 
-  const graph::Graph& graph() const { return *graph_; }
+  /// One delayed round; `delay(v, t, present)` -> walkers held at v.
+  template <typename DelayFn>
+  void step_delayed(DelayFn&& delay) {
+    ++time_;
+    // Count walkers per node (touched-list so the pass is O(k)).
+    for (graph::NodeId p : pos_) {
+      if (present_[p]++ == 0) touched_.push_back(p);
+    }
+    for (graph::NodeId v : touched_) {
+      std::uint32_t held = delay(v, time_, present_[v]);
+      if (held > present_[v]) held = present_[v];
+      hold_left_[v] = held;
+    }
+    for (auto& p : pos_) {
+      if (hold_left_[p] > 0) {
+        --hold_left_[p];  // held walkers stay and do not revisit (Lemma 1)
+        continue;
+      }
+      move_walker(p);
+    }
+    for (graph::NodeId v : touched_) {
+      present_[v] = 0;
+      hold_left_[v] = 0;
+    }
+    touched_.clear();
+  }
+
+  const graph::CsrGraph& graph() const { return csr_; }
   std::uint32_t num_walkers() const {
     return static_cast<std::uint32_t>(pos_.size());
   }
-  std::uint64_t time() const { return time_; }
+  std::uint32_t num_agents() const override { return num_walkers(); }
+  graph::NodeId num_nodes() const override { return csr_.num_nodes(); }
+  std::uint64_t time() const override { return time_; }
   graph::NodeId position(std::uint32_t walker) const { return pos_[walker]; }
 
-  bool visited(graph::NodeId v) const { return visited_[v]; }
-  graph::NodeId covered_count() const { return covered_; }
-  bool all_covered() const { return covered_ == graph_->num_nodes(); }
+  bool visited(graph::NodeId v) const {
+    return first_visit_[v] != kGraphWalkNotCovered;
+  }
+  graph::NodeId covered_count() const override { return covered_; }
+
+  std::uint64_t visits(graph::NodeId v) const override { return visits_[v]; }
+  std::uint64_t first_visit_time(graph::NodeId v) const override {
+    return first_visit_[v];
+  }
+
+  /// FNV-1a hash of the walker positions (walkers are distinguishable).
+  std::uint64_t config_hash() const override;
+
+  const char* engine_name() const override { return "random-walks"; }
 
  private:
-  const graph::Graph* graph_;
+  void do_step_delayed(const sim::DelayFn& delay) override {
+    step_delayed(delay);
+  }
+
+  void move_walker(graph::NodeId& p) {
+    const std::uint32_t deg = csr_.degree_unchecked(p);
+    RR_ASSERT(deg > 0, "walker stranded on isolated node");
+    p = csr_.row(p)[deg == 1 ? 0 : rng_.bounded(deg)];
+    record_visit(p);
+  }
+
+  void record_visit(graph::NodeId p) {
+    ++visits_[p];
+    if (first_visit_[p] == kGraphWalkNotCovered) {
+      first_visit_[p] = time_;
+      ++covered_;
+    }
+  }
+
+  graph::CsrGraph csr_;
   std::uint64_t time_ = 0;
   graph::NodeId covered_ = 0;
   Rng rng_;
   std::vector<graph::NodeId> pos_;
-  std::vector<std::uint8_t> visited_;
+  std::vector<std::uint64_t> visits_;
+  std::vector<std::uint64_t> first_visit_;
+  // Scratch for step_delayed (zeroed via the touched list after each round).
+  std::vector<std::uint32_t> present_;
+  std::vector<std::uint32_t> hold_left_;
+  std::vector<graph::NodeId> touched_;
 };
 
 /// Mean cover time over `trials` independent runs (the expectation the

@@ -13,6 +13,7 @@
 #include "core/initializers.hpp"
 #include "core/ring_rotor_router.hpp"
 #include "core/rotor_router.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/generators.hpp"
 
 namespace rr::core {
@@ -212,6 +213,40 @@ class GraphProperty : public ::testing::TestWithParam<int> {
   }
 };
 
+TEST_P(GraphProperty, CsrViewMatchesGraphExactly) {
+  // The flat CSR substrate must agree with the nested-vector Graph on every
+  // structural query: degrees, port-ordered neighbors, port lookup and
+  // membership. This is the contract the engines' hot loops rely on.
+  graph::Graph g = make();
+  // Perturb the port orders first: the CSR view must reflect them.
+  Rng rng(g.num_nodes() * 31 + 7);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > 0) g.rotate_ports(v, rng.bounded(g.degree(v)));
+  }
+  graph::CsrGraph csr(g);
+  ASSERT_EQ(csr.num_nodes(), g.num_nodes());
+  ASSERT_EQ(csr.num_edges(), g.num_edges());
+  ASSERT_EQ(csr.num_arcs(), g.num_arcs());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(csr.degree(v), g.degree(v)) << "v " << v;
+    const auto expected = g.neighbors(v);
+    const auto actual = csr.neighbors(v);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+      ASSERT_EQ(actual[p], expected[p]) << "v " << v << " p " << p;
+      ASSERT_EQ(csr.neighbor(v, p), g.neighbor(v, p));
+      ASSERT_EQ(csr.row(v)[p], g.neighbor(v, p));
+    }
+    for (graph::NodeId u : expected) {
+      ASSERT_EQ(csr.port_to(v, u), g.port_to(v, u)) << "v " << v << " u " << u;
+      ASSERT_TRUE(csr.has_edge(v, u));
+    }
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      ASSERT_EQ(csr.has_edge(v, u), g.has_edge(v, u)) << "v " << v << " u " << u;
+    }
+  }
+}
+
 TEST_P(GraphProperty, RoundRobinArcFairness) {
   // After any number of rounds, the exit counts through the ports of any
   // node differ by at most 1 (the defining rotor-router property).
@@ -271,6 +306,85 @@ TEST_P(GraphProperty, MoreAgentsDominateVisitCounts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Topologies, GraphProperty, ::testing::Range(0, 10));
+
+// --- CSR engine vs seed semantics: lockstep against a naive nested-vector
+// simulator (the pre-CSR reference implementation) under adversarially
+// permuted port orders, on the paper's main topologies. ---
+
+class CsrLockstep : public ::testing::TestWithParam<int> {
+ protected:
+  graph::Graph make() const {
+    switch (GetParam()) {
+      case 0: return graph::ring(48);
+      case 1: return graph::torus(6, 7);
+      case 2: return graph::random_regular(40, 4, 11);
+      default: return graph::erdos_renyi(36, 0.2, 23);
+    }
+  }
+};
+
+TEST_P(CsrLockstep, MatchesNaiveNestedVectorSimulation) {
+  graph::Graph g = make();
+  Rng rng(0xBEEF + GetParam());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Random cyclic rotations model the adversary's choice of rho_v.
+    g.rotate_ports(v, rng.bounded(g.degree(v)));
+  }
+  const std::vector<graph::NodeId> agents = {
+      0, 0, g.num_nodes() / 3, g.num_nodes() / 3, g.num_nodes() - 1};
+  std::vector<std::uint32_t> init_ptrs(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    init_ptrs[v] = rng.bounded(g.degree(v));
+  }
+
+  RotorRouter rr(g, agents, init_ptrs);
+
+  // Naive reference: nested-vector adjacency, straight from Sec. 1.3.
+  std::vector<std::uint32_t> ptr = init_ptrs, cnt(g.num_nodes(), 0);
+  std::vector<std::uint64_t> vis(g.num_nodes(), 0);
+  for (graph::NodeId a : agents) {
+    ++cnt[a];
+    ++vis[a];
+  }
+  for (int t = 0; t < 200; ++t) {
+    std::vector<std::uint32_t> nxt(g.num_nodes(), 0);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (std::uint32_t i = 0; i < cnt[v]; ++i) {
+        nxt[g.neighbor(v, (ptr[v] + i) % g.degree(v))] += 1;
+      }
+      ptr[v] = (ptr[v] + cnt[v]) % g.degree(v);
+    }
+    cnt = nxt;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) vis[v] += cnt[v];
+    rr.step();
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(rr.agents_at(v), cnt[v]) << "t " << t << " v " << v;
+      ASSERT_EQ(rr.pointer(v), ptr[v]) << "t " << t << " v " << v;
+      ASSERT_EQ(rr.visits(v), vis[v]) << "t " << t << " v " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingTorusRandom, CsrLockstep, ::testing::Range(0, 4));
+
+TEST(CsrGraphMultigraph, ParallelEdgesKeepSmallestPort) {
+  // port_to must return the *smallest* port among parallel edges, exactly
+  // as Graph's linear scan does.
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);  // parallel: node 0 ports {0,2} both lead to 1
+  g.add_edge(0, 3);
+  g.add_edge(2, 3);
+  graph::CsrGraph csr(g);
+  EXPECT_EQ(csr.port_to(0, 1), 0u);
+  EXPECT_EQ(csr.port_to(0, 2), 1u);
+  EXPECT_EQ(csr.port_to(0, 3), 3u);
+  EXPECT_EQ(g.port_to(0, 1), csr.port_to(0, 1));
+  EXPECT_EQ(csr.port_to(1, 0), 0u);
+  EXPECT_FALSE(csr.has_edge(1, 2));
+  EXPECT_TRUE(csr.has_edge(3, 0));
+}
 
 }  // namespace
 }  // namespace rr::core

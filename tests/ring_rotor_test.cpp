@@ -175,6 +175,23 @@ TEST(RingRotor, ConfigHashDetectsPointerDifferences) {
   EXPECT_NE(a.config_hash(), b.config_hash());
 }
 
+TEST(RingRotor, OccupiedListStaysCompactUnderDelayedDeployment) {
+  // Regression: occupied-list entries for vacated nodes must be dropped
+  // each round; otherwise long delayed runs degrade to O(n) per round.
+  RingRotorRouter rr(64, {0, 0, 32});
+  for (int t = 0; t < 2000; ++t) {
+    rr.step_delayed([](NodeId v, std::uint64_t time, std::uint32_t) {
+      return (v + time) % 2 == 0 ? ~0u : 0u;
+    });
+    NodeId hosting = 0;
+    for (NodeId v = 0; v < 64; ++v) {
+      if (rr.agents_at(v) > 0) ++hosting;
+    }
+    ASSERT_EQ(rr.occupied_count(), hosting) << "t " << t;
+    ASSERT_LE(rr.occupied_count(), 3u) << "t " << t;
+  }
+}
+
 TEST(RingRotorDeath, RejectsBadPointerValue) {
   std::vector<std::uint8_t> ptrs(8, 3);
   EXPECT_DEATH(RingRotorRouter(8, {0}, ptrs), "pointer must be 0");

@@ -178,6 +178,27 @@ TEST(RotorRouter, InitialPointersRespected) {
   EXPECT_EQ(rr.agents_at(3), 1u);
 }
 
+TEST(RotorRouter, OccupiedListStaysCompactUnderDelayedDeployment) {
+  // Regression: the occupied list must track exactly the nodes hosting
+  // agents. If vacated nodes were never dropped, a long delayed run would
+  // degrade each round to O(#nodes ever visited) instead of O(#occupied).
+  Graph g = graph::ring(64);
+  RotorRouter rr(g, {0, 0, 32});
+  for (int t = 0; t < 2000; ++t) {
+    rr.step_delayed([](graph::NodeId v, std::uint64_t time, std::uint32_t) {
+      // Churn: alternate holding everything at even nodes / odd nodes, so
+      // nodes are vacated and re-occupied constantly.
+      return (v + time) % 2 == 0 ? ~0u : 0u;
+    });
+    graph::NodeId hosting = 0;
+    for (graph::NodeId v = 0; v < 64; ++v) {
+      if (rr.agents_at(v) > 0) ++hosting;
+    }
+    ASSERT_EQ(rr.occupied_count(), hosting) << "t " << t;
+    ASSERT_LE(rr.occupied_count(), 3u) << "t " << t;  // at most k entries
+  }
+}
+
 TEST(RotorRouterDeath, RejectsDisconnectedGraph) {
   Graph g(4);
   g.add_edge(0, 1);
