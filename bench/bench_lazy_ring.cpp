@@ -1,0 +1,81 @@
+// E-LAZY (Sec. 2.2): throughput of the lazy domain-dynamics ring engine
+// vs the dense ring engine in the post-transient regime.
+//
+// Once domains are established, the whole configuration is O(k) structure
+// and the lazy engine advances run() by ballistic leaps between interaction
+// events; the dense engine still pays O(k) array work *per round*. This
+// driver measures rounds/s for both on a million-node ring, checks the
+// engines agree on the final config_hash (the lazy engine is exact, not
+// approximate), and prints the speed-up. Acceptance gate: >= 5x at
+// n = 2^20, k <= 64 post-transient.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/initializers.hpp"
+#include "core/lazy_ring_rotor_router.hpp"
+#include "core/ring_rotor_router.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using rr::core::LazyRingRotorRouter;
+using rr::core::NodeId;
+using rr::core::RingRotorRouter;
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  rr::sim::print_bench_header(
+      "Lazy O(k)-per-round ring engine vs dense ring engine",
+      "Sec. 2.2 domain dynamics (Definition 1, Fig. 1)");
+
+  const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(1 << 20));
+  const std::uint64_t transient = 4ULL * n;
+  const std::uint64_t measured = rr::sim::scaled(1ULL << 22);
+
+  rr::analysis::Table t({"k", "engine", "rounds/s", "speed-up", "hash match"});
+  for (std::uint32_t k : {1u, 8u, 64u}) {
+    const auto agents = rr::core::place_equally_spaced(n, k);
+    RingRotorRouter dense(n, agents);
+    LazyRingRotorRouter lazy(n, agents);
+
+    // Burn through the transient so the measurement is the post-transient
+    // regime (the lazy engine promotes itself along the way).
+    dense.run(transient);
+    lazy.run(transient);
+
+    const double dense_s = seconds_of([&] { dense.run(measured); });
+    const double lazy_s = seconds_of([&] { lazy.run(measured); });
+    const bool match = dense.config_hash() == lazy.config_hash() &&
+                       dense.time() == lazy.time();
+
+    const double dense_rps = static_cast<double>(measured) / dense_s;
+    const double lazy_rps = static_cast<double>(measured) / lazy_s;
+    t.add_row({rr::analysis::Table::integer(k), "ring-rotor-router",
+               rr::analysis::Table::num(dense_rps, 0), "1.0",
+               match ? "yes" : "NO"});
+    t.add_row({rr::analysis::Table::integer(k), "lazy-ring-rotor-router",
+               rr::analysis::Table::num(lazy_rps, 0),
+               rr::analysis::Table::num(lazy_rps / dense_rps, 1),
+               match ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf(
+      "\nBoth engines advance the same %llu rounds from the same"
+      " post-transient state (n = %u); `hash match` certifies bit-equal"
+      " final configurations. The lazy engine's advantage is leap length:"
+      " between interaction events it advances every agent through half the"
+      " minimum inter-agent gap in O(k log k) work.\n",
+      static_cast<unsigned long long>(measured), n);
+  return 0;
+}

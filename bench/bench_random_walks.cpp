@@ -14,6 +14,7 @@
 #include "analysis/fit.hpp"
 #include "analysis/parallel.hpp"
 #include "analysis/table.hpp"
+#include "sim/runner.hpp"
 #include "core/initializers.hpp"
 #include "walk/ring_walk.hpp"
 
@@ -26,7 +27,7 @@ using rr::walk::NodeId;
 RunningStats cover_stats(NodeId n, const std::vector<NodeId>& starts,
                          std::uint64_t trials, std::uint64_t seed) {
   return rr::analysis::parallel_stats(trials, [&](std::uint64_t i) {
-    rr::walk::RingRandomWalks w(n, starts, seed + 7919 * i);
+    rr::walk::RingRandomWalks w(n, starts, rr::sim::derive_seed(seed, i));
     return static_cast<double>(w.run_until_covered(~0ULL / 2));
   });
 }

@@ -32,7 +32,7 @@ rr::sim::Runner& runner() {
 double walk_cover_mean(NodeId n, const std::vector<NodeId>& starts,
                        std::uint64_t trials, std::uint64_t seed) {
   return runner().stats(trials, [&](std::uint64_t i) {
-    rr::walk::RingRandomWalks w(n, starts, seed + 31 * i);
+    rr::walk::RingRandomWalks w(n, starts, rr::sim::derive_seed(seed, i));
     return static_cast<double>(w.run_until_covered(~0ULL / 2));
   }).mean();
 }

@@ -10,6 +10,7 @@
 #include "analysis/experiment.hpp"
 #include "analysis/parallel.hpp"
 #include "analysis/table.hpp"
+#include "sim/runner.hpp"
 #include "core/cover_time.hpp"
 #include "core/initializers.hpp"
 #include "walk/ring_walk.hpp"
@@ -21,7 +22,7 @@ using rr::analysis::Table;
 double walk_cover_mean(rr::core::NodeId n, const std::vector<rr::core::NodeId>& starts,
                        std::uint64_t trials, std::uint64_t seed) {
   auto stats = rr::analysis::parallel_stats(trials, [&](std::uint64_t i) {
-    rr::walk::RingRandomWalks walks(n, starts, seed + i * 7919);
+    rr::walk::RingRandomWalks walks(n, starts, rr::sim::derive_seed(seed, i));
     return static_cast<double>(walks.run_until_covered(~0ULL / 2));
   });
   return stats.mean();

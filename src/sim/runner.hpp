@@ -27,10 +27,30 @@
 #include <vector>
 
 #include "analysis/stats.hpp"
+#include "common/hash.hpp"
 #include "common/require.hpp"
+#include "common/rng.hpp"
 #include "sim/engine.hpp"
 
 namespace rr::sim {
+
+// ---- per-trial RNG derivation ----
+//
+// Batched drivers run `trials` independent jobs from one master seed. Seeds
+// must be (a) deterministic in (master, trial) regardless of scheduling and
+// (b) statistically independent across trials — `seed + 31 * i` arithmetic
+// fails (b) for counter-seeded generators. These helpers are the sanctioned
+// derivation (SplitMix64-style, common/hash.hpp).
+
+/// Seed for trial/stream `trial` under `master`.
+constexpr std::uint64_t derive_seed(std::uint64_t master, std::uint64_t trial) {
+  return mix_seed(master, trial);
+}
+
+/// Ready-to-use per-trial generator.
+inline Rng trial_rng(std::uint64_t master, std::uint64_t trial) {
+  return Rng(derive_seed(master, trial));
+}
 
 // ---- bench-harness knobs ----
 //

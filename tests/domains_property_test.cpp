@@ -1,0 +1,120 @@
+// Property tests for compute_domains / census_borders invariants
+// (Sec. 2.2, Definition 1, Lemma 12) over randomized runs — the
+// property-based complement to the example-driven tests in
+// domains_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/domains.hpp"
+#include "core/initializers.hpp"
+
+namespace rr::core {
+namespace {
+
+RingRotorRouter random_router(Rng& rng, NodeId min_n = 8, NodeId span = 72,
+                              std::uint32_t max_k = 6) {
+  const NodeId n = min_n + rng.bounded(span);
+  const std::uint32_t k = 1 + rng.bounded(max_k);
+  const auto agents = place_random(n, k, rng);
+  switch (rng.bounded(3)) {
+    case 0:
+      return RingRotorRouter(n, agents);
+    case 1:
+      return RingRotorRouter(n, agents, pointers_random(n, rng));
+    default:
+      return RingRotorRouter(n, agents, pointers_negative(n, agents));
+  }
+}
+
+TEST(DomainsProperty, SizesPartitionTheRing) {
+  // The domains plus V_bot are a partition: sizes sum to n - unvisited at
+  // every round, including the two-colocated-agents split path, and the
+  // lazy sub-domain never outgrows its domain.
+  Rng rng(0xD0D0);
+  for (int trial = 0; trial < 120; ++trial) {
+    RingRotorRouter rr = random_router(rng);
+    const std::uint64_t rounds = rng.bounded(4 * rr.num_nodes());
+    for (std::uint64_t t = 0; t < rounds; ++t) rr.step();
+    const DomainSnapshot snap = compute_domains(rr);
+    std::uint64_t total = 0;
+    for (const Domain& d : snap.domains) {
+      total += d.size;
+      ASSERT_LE(d.lazy_size, d.size) << "trial " << trial;
+    }
+    ASSERT_EQ(total + snap.unvisited, rr.num_nodes())
+        << "trial " << trial << " round " << rr.time();
+  }
+}
+
+TEST(DomainsProperty, BorderCensusCountsEveryGap) {
+  // Every pair of cyclically adjacent lazy domains is classified exactly
+  // once: vertex + edge + wide == number of compared gaps (all of them when
+  // the ring is covered; the pair across V_bot is skipped otherwise).
+  Rng rng(0xB0DE);
+  int with_borders = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    RingRotorRouter rr = random_router(rng);
+    const std::uint64_t rounds = rng.bounded(6 * rr.num_nodes());
+    for (std::uint64_t t = 0; t < rounds; ++t) rr.step();
+    const DomainSnapshot snap = compute_domains(rr);
+    const BorderCensus census = census_borders(rr, snap);
+    const std::size_t expected_gaps =
+        snap.domains.size() < 2
+            ? 0
+            : (snap.unvisited == 0 ? snap.domains.size()
+                                   : snap.domains.size() - 1);
+    ASSERT_EQ(census.vertex_type + census.edge_type + census.wide,
+              expected_gaps)
+        << "trial " << trial << " round " << rr.time();
+    if (expected_gaps > 0) ++with_borders;
+  }
+  EXPECT_GT(with_borders, 40);  // the sweep must actually exercise borders
+}
+
+TEST(DomainsProperty, Lemma12SweepEnvelopeOfAdjacentDiffIsNonIncreasing) {
+  // Lemma 12's balancing claim, in its empirically exact form: per-round
+  // max |size_i - size_{i+1}| oscillates while agents shuttle, but its
+  // envelope over a full sweep period (2n rounds) never increases once the
+  // ring is covered and domains are well defined.
+  Rng rng(0x1E12);
+  int windows_checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    RingRotorRouter rr = random_router(rng, 16, 48, 5);
+    const NodeId n = rr.num_nodes();
+    if (rr.run_until_covered(1ULL << 20) == kRingNotCovered) continue;
+    const std::uint64_t window = 2ULL * n;
+    std::uint32_t prev_max = 0;
+    bool have_prev = false;
+    for (int w = 0; w < 6; ++w) {
+      std::uint32_t window_max = 0;
+      bool all_well_defined = true;
+      for (std::uint64_t t = 0; t < window; ++t) {
+        const DomainSnapshot snap = compute_domains(rr);
+        if (snap.well_defined && snap.unvisited == 0) {
+          window_max = std::max(window_max, snap.max_adjacent_diff());
+        } else {
+          all_well_defined = false;
+        }
+        rr.step();
+      }
+      if (!all_well_defined) {
+        have_prev = false;
+        continue;
+      }
+      if (have_prev) {
+        ASSERT_LE(window_max, prev_max)
+            << "trial " << trial << " window " << w << " n " << n;
+        ++windows_checked;
+      }
+      prev_max = window_max;
+      have_prev = true;
+    }
+  }
+  EXPECT_GT(windows_checked, 60);
+}
+
+}  // namespace
+}  // namespace rr::core

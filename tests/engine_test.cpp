@@ -10,6 +10,7 @@
 
 #include "core/delayed.hpp"
 #include "core/initializers.hpp"
+#include "core/lazy_ring_rotor_router.hpp"
 #include "core/limit_cycle.hpp"
 #include "core/ring_rotor_router.hpp"
 #include "core/rotor_router.hpp"
@@ -29,6 +30,7 @@ std::vector<std::unique_ptr<Engine>> make_engines(const graph::Graph& g) {
   const auto agents = core::place_equally_spaced(kN, kK);
   std::vector<std::unique_ptr<Engine>> engines;
   engines.push_back(std::make_unique<core::RingRotorRouter>(kN, agents));
+  engines.push_back(std::make_unique<core::LazyRingRotorRouter>(kN, agents));
   engines.push_back(std::make_unique<core::RotorRouter>(g, agents));
   engines.push_back(std::make_unique<walk::GraphRandomWalks>(g, agents, 7));
   return engines;

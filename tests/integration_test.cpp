@@ -9,6 +9,7 @@
 #include "analysis/ode.hpp"
 #include "analysis/parallel.hpp"
 #include "analysis/sequence.hpp"
+#include "sim/runner.hpp"
 #include "analysis/stats.hpp"
 #include "core/cover_time.hpp"
 #include "core/domains.hpp"
@@ -176,7 +177,7 @@ TEST(Integration, WalksBestPlacementCarriesLogSquaredPenalty) {
   RingConfig rcfg{n, agents, core::pointers_negative(n, agents)};
   const double rotor = static_cast<double>(core::ring_cover_time(rcfg));
   const double walks = analysis::parallel_stats(60, [&](std::uint64_t i) {
-    walk::RingRandomWalks w(n, agents, 777 + 31 * i);
+    walk::RingRandomWalks w(n, agents, sim::derive_seed(777, i));
     return static_cast<double>(w.run_until_covered(~0ULL / 2));
   }).mean();
   EXPECT_GT(walks, 1.5 * rotor);   // log^2(8) ~ 9, constants eat some of it

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "analysis/parallel.hpp"
+#include "sim/runner.hpp"
 #include "analysis/stats.hpp"
 #include "graph/generators.hpp"
 
@@ -117,7 +118,7 @@ TEST(RingWalks, MoreWalkersCoverFaster) {
       for (std::uint32_t j = 0; j < k; ++j) {
         starts[j] = static_cast<NodeId>(j * n / k);
       }
-      RingRandomWalks w(n, starts, seed + i);
+      RingRandomWalks w(n, starts, rr::sim::derive_seed(seed, i));
       return static_cast<double>(w.run_until_covered(~0ULL / 2));
     }).mean();
   };

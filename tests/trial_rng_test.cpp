@@ -1,0 +1,59 @@
+// Tests for the sanctioned per-trial seed derivation (sim::derive_seed /
+// sim::trial_rng, ROADMAP "Runner scheduling"): deterministic in
+// (master, trial), collision-free over realistic sweep sizes, and free of
+// the adjacent-stream correlation that `seed + 31 * i` arithmetic has.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "sim/runner.hpp"
+
+namespace rr::sim {
+namespace {
+
+TEST(TrialRng, DeterministicInMasterAndTrial) {
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+  static_assert(derive_seed(1, 2) == derive_seed(1, 2),
+                "derivation must be constexpr-usable for table tests");
+  Rng a = trial_rng(42, 7);
+  Rng b = trial_rng(42, 7);
+  for (int i = 0; i < 16; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(TrialRng, NoCollisionsAcrossASweep) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t master : {0ULL, 1ULL, 0xDEADBEEFULL}) {
+    for (std::uint64_t trial = 0; trial < 100000; ++trial) {
+      ASSERT_TRUE(seen.insert(derive_seed(master, trial)).second)
+          << "master " << master << " trial " << trial;
+    }
+  }
+}
+
+TEST(TrialRng, AdjacentTrialsDecorrelated) {
+  // Counter-based seeding (seed + c*i) leaves neighboring generators in
+  // nearly identical states; the splitmix derivation must not. Crude but
+  // effective check: first outputs of adjacent trials differ in about half
+  // their bits.
+  int total_bits = 0;
+  for (std::uint64_t trial = 0; trial < 256; ++trial) {
+    const std::uint64_t x = trial_rng(9, trial)();
+    const std::uint64_t y = trial_rng(9, trial + 1)();
+    total_bits += __builtin_popcountll(x ^ y);
+  }
+  const double mean_bits = total_bits / 256.0;
+  EXPECT_GT(mean_bits, 24.0);
+  EXPECT_LT(mean_bits, 40.0);
+}
+
+TEST(TrialRng, MastersProduceDisjointStreams) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  // A trial under one master must not alias a nearby trial under another
+  // (the failure mode of additive schemes: seed+31*i collides across
+  // masters that differ by a multiple of 31).
+  EXPECT_NE(derive_seed(0, 31), derive_seed(31 * 31, 0));
+}
+
+}  // namespace
+}  // namespace rr::sim
