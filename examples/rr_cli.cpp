@@ -3,8 +3,16 @@
 //   rr_cli cover   --n 1024 --k 8 --place one|spaced|random --ptr toward|negative|uniform|random [--seed S]
 //   rr_cli return  (same flags)                       measure the limit refresh time
 //   rr_cli trace   --n 72 --k 4 --rounds 200 --stride 8 [--domains]   ASCII space-time diagram
+//   rr_cli trace   --topo torus --size 12 --k 4 --rounds 200 --stride 20   2-D space-time blocks
+//   rr_cli run     --topo torus --size 16 --k 8 --rounds 400 --checkpoint state.ckpt
+//   rr_cli run     --resume state.ckpt --rounds 400 [--checkpoint state.ckpt]
 //   rr_cli config  "ring n=12 agents=0,6 pointers=cccccccccccc" [--rounds R]
 //   rr_cli lockin  --topo ring|grid|torus|clique|hypercube|tree --size 64
+//
+// `run` drives any engine (--engine rotor|ring|lazy|walks) on any substrate
+// (--topo/--size sugar or a raw --graph "torus 16 16" descriptor) through
+// the engine-generic checkpoint layer: --checkpoint serializes the full
+// state after the run, --resume restores one and continues bit-exactly.
 //
 // Exit code 0 on success, 2 on usage errors (so scripts can distinguish).
 
@@ -12,15 +20,22 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/rng.hpp"
 #include "core/cover_time.hpp"
 #include "core/initializers.hpp"
+#include "core/lazy_ring_rotor_router.hpp"
 #include "core/limit_cycle.hpp"
+#include "core/rotor_router.hpp"
 #include "core/snapshot.hpp"
 #include "core/trace.hpp"
+#include "graph/descriptor.hpp"
 #include "graph/generators.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/trace.hpp"
+#include "walk/random_walk.hpp"
 
 namespace {
 
@@ -35,14 +50,22 @@ struct Flags {
   bool domains = false;
   std::string topo = "ring";
   rr::graph::NodeId size = 64;
+  std::string engine = "rotor";
+  std::string graph;       // raw descriptor; overrides --topo/--size
+  std::string checkpoint;  // write the engine state here after the run
+  std::string resume;      // restore the engine state from here first
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: rr_cli <cover|return|trace|config|lockin> [flags]\n"
+               "usage: rr_cli <cover|return|trace|run|config|lockin> [flags]\n"
                "  common flags: --n N --k K --place one|spaced|random"
                " --ptr toward|negative|uniform|random --seed S\n"
-               "  trace: --rounds R --stride S --domains\n"
+               "  trace: --rounds R --stride S --domains"
+               " [--topo ... --size N | --graph DESC]\n"
+               "  run: --engine rotor|ring|lazy|walks --rounds R"
+               " [--topo ... --size N | --graph DESC]\n"
+               "       --checkpoint FILE --resume FILE\n"
                "  lockin: --topo ring|grid|torus|clique|hypercube|tree"
                " --size N\n");
   return 2;
@@ -96,6 +119,22 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       const char* v = next("--size");
       if (!v) return false;
       f.size = static_cast<rr::graph::NodeId>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--engine") {
+      const char* v = next("--engine");
+      if (!v) return false;
+      f.engine = v;
+    } else if (a == "--graph") {
+      const char* v = next("--graph");
+      if (!v) return false;
+      f.graph = v;
+    } else if (a == "--checkpoint") {
+      const char* v = next("--checkpoint");
+      if (!v) return false;
+      f.checkpoint = v;
+    } else if (a == "--resume") {
+      const char* v = next("--resume");
+      if (!v) return false;
+      f.resume = v;
     } else {
       std::fprintf(stderr, "rr_cli: unknown flag %s\n", a.c_str());
       return false;
@@ -132,6 +171,123 @@ bool build_config(const Flags& f, rr::core::RingConfig& config) {
   return true;
 }
 
+// Smallest d with 2^d >= size, clamped so the shift never overflows.
+std::uint32_t hypercube_dim(rr::graph::NodeId size) {
+  std::uint32_t d = 1;
+  while (d < 31 && (1u << d) < size) ++d;
+  return d;
+}
+
+// Descriptor text for the --topo/--size sugar; --graph passes through.
+std::string topo_descriptor(const Flags& f) {
+  using rr::graph::GraphDescriptor;
+  if (!f.graph.empty()) return f.graph;
+  if (f.topo == "grid") return GraphDescriptor::grid(f.size, f.size).text();
+  if (f.topo == "torus") return GraphDescriptor::torus(f.size, f.size).text();
+  if (f.topo == "clique") return GraphDescriptor::clique(f.size).text();
+  if (f.topo == "hypercube") {
+    return GraphDescriptor::hypercube(hypercube_dim(f.size)).text();
+  }
+  if (f.topo == "tree") return GraphDescriptor::binary_tree(f.size).text();
+  return GraphDescriptor::ring(f.size).text();
+}
+
+// k agents spread evenly over the node-id range.
+std::vector<rr::graph::NodeId> spread_agents(rr::graph::NodeId n,
+                                             std::uint32_t k) {
+  std::vector<rr::graph::NodeId> agents(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    agents[i] = static_cast<rr::graph::NodeId>(
+        static_cast<std::uint64_t>(i) * n / k);
+  }
+  return agents;
+}
+
+std::unique_ptr<rr::sim::Engine> build_engine(const Flags& f,
+                                              const std::string& descriptor) {
+  const auto d = rr::graph::GraphDescriptor::parse(descriptor);
+  if (!d) {
+    std::fprintf(stderr, "rr_cli: malformed graph descriptor '%s'\n",
+                 descriptor.c_str());
+    return nullptr;
+  }
+  const auto g = d->build();
+  if (!g) {
+    std::fprintf(stderr, "rr_cli: invalid graph parameters '%s'\n",
+                 descriptor.c_str());
+    return nullptr;
+  }
+  const auto n = g->num_nodes();
+  if (f.k < 1 || f.k > n) {
+    std::fprintf(stderr, "rr_cli: need 1 <= k <= %u\n", n);
+    return nullptr;
+  }
+  const auto agents = spread_agents(n, f.k);
+  if (f.engine == "rotor") {
+    return std::make_unique<rr::core::RotorRouter>(*g, agents);
+  }
+  if (f.engine == "walks") {
+    return std::make_unique<rr::walk::GraphRandomWalks>(*g, agents, f.seed);
+  }
+  if (f.engine == "ring" || f.engine == "lazy") {
+    if (d->kind != "ring") {
+      std::fprintf(stderr, "rr_cli: --engine %s needs a ring substrate\n",
+                   f.engine.c_str());
+      return nullptr;
+    }
+    if (f.engine == "ring") {
+      return std::make_unique<rr::core::RingRotorRouter>(n, agents);
+    }
+    return std::make_unique<rr::core::LazyRingRotorRouter>(n, agents);
+  }
+  std::fprintf(stderr, "rr_cli: unknown engine %s\n", f.engine.c_str());
+  return nullptr;
+}
+
+int cmd_run(const Flags& f) {
+  std::unique_ptr<rr::sim::Engine> engine;
+  std::string descriptor;
+  if (!f.resume.empty()) {
+    const auto text = rr::sim::read_text_file(f.resume);
+    if (!text) {
+      std::fprintf(stderr, "rr_cli: cannot read %s\n", f.resume.c_str());
+      return 2;
+    }
+    const auto parsed = rr::sim::parse_checkpoint(*text);
+    if (parsed) engine = rr::sim::restore_checkpoint(*parsed);
+    if (!engine) {
+      std::fprintf(stderr, "rr_cli: malformed checkpoint %s\n",
+                   f.resume.c_str());
+      return 2;
+    }
+    descriptor = parsed->graph_descriptor;
+    std::printf("resumed %s on '%s' at t=%llu\n", engine->engine_name(),
+                descriptor.c_str(),
+                static_cast<unsigned long long>(engine->time()));
+  } else {
+    descriptor = topo_descriptor(f);
+    engine = build_engine(f, descriptor);
+    if (!engine) return 2;
+  }
+  const std::uint64_t rounds = f.rounds ? f.rounds : engine->num_nodes();
+  engine->run(rounds);
+  std::printf("engine=%s graph='%s' t=%llu covered=%u/%u hash=%016llx\n",
+              engine->engine_name(), descriptor.c_str(),
+              static_cast<unsigned long long>(engine->time()),
+              engine->covered_count(), engine->num_nodes(),
+              static_cast<unsigned long long>(engine->config_hash()));
+  if (!f.checkpoint.empty()) {
+    const std::string text = rr::sim::write_checkpoint(*engine, descriptor);
+    if (!rr::sim::save_checkpoint_file(f.checkpoint, text)) {
+      std::fprintf(stderr, "rr_cli: cannot write %s\n", f.checkpoint.c_str());
+      return 2;
+    }
+    std::printf("checkpoint: %s (%zu bytes)\n", f.checkpoint.c_str(),
+                text.size());
+  }
+  return 0;
+}
+
 int cmd_cover(const Flags& f) {
   rr::core::RingConfig config;
   if (!build_config(f, config)) return 2;
@@ -160,6 +316,25 @@ int cmd_return(const Flags& f) {
 }
 
 int cmd_trace(Flags f) {
+  if (!f.graph.empty() || f.topo != "ring") {
+    // Non-ring substrates draw through the engine-generic renderer; torus
+    // and grid runs lay out as 2-D blocks (one line per row).
+    const std::string descriptor = topo_descriptor(f);
+    auto engine = build_engine(f, descriptor);
+    if (!engine) return 2;
+    const auto d = rr::graph::GraphDescriptor::parse(descriptor);
+    rr::sim::TraceOptions opt;
+    opt.rounds = f.rounds ? f.rounds : 4ULL * engine->num_nodes();
+    opt.stride = f.stride ? f.stride : 1;
+    if (d->kind == "torus" || d->kind == "grid") {
+      opt.width = static_cast<rr::graph::NodeId>(
+          std::strtoul(d->args[0].c_str(), nullptr, 10));
+    }
+    std::fputs(
+        rr::sim::format_trace(rr::sim::record_trace(*engine, opt)).c_str(),
+        stdout);
+    return 0;
+  }
   rr::core::RingConfig config;
   if (!build_config(f, config)) return 2;
   if (f.rounds == 0) f.rounds = 4ULL * f.n;
@@ -198,11 +373,7 @@ int cmd_lockin(const Flags& f) {
     if (f.topo == "grid") return rr::graph::grid(f.size, f.size);
     if (f.topo == "torus") return rr::graph::torus(f.size, f.size);
     if (f.topo == "clique") return rr::graph::clique(f.size);
-    if (f.topo == "hypercube") {
-      std::uint32_t d = 1;
-      while ((1u << d) < f.size) ++d;
-      return rr::graph::hypercube(d);
-    }
+    if (f.topo == "hypercube") return rr::graph::hypercube(hypercube_dim(f.size));
     if (f.topo == "tree") return rr::graph::binary_tree(f.size);
     return rr::graph::ring(f.size);
   }();
@@ -228,6 +399,7 @@ int main(int argc, char** argv) {
   if (cmd == "config") return cmd_config(argc, argv);
   Flags f;
   if (!parse_flags(argc, argv, 2, f)) return 2;
+  if (cmd == "run") return cmd_run(f);  // validates against its substrate
   if (f.n < 3 || f.k < 1 || f.k > f.n) {
     std::fprintf(stderr, "rr_cli: need n >= 3 and 1 <= k <= n\n");
     return 2;

@@ -1,0 +1,24 @@
+#pragma once
+
+// Strict numeric parsing for external text inputs (checkpoints, sweep
+// manifests, graph descriptors). One shared helper so the "full token,
+// nothing else, never throws" policy is defined once: the token must be
+// entirely consumed and non-empty, or the parse fails.
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rr {
+
+inline std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) return std::nullopt;
+  return value;
+}
+
+}  // namespace rr

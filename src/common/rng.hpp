@@ -7,6 +7,7 @@
 // through this type; every experiment is reproducible from its seed.
 // (The rotor-router itself is deterministic and never touches an RNG.)
 
+#include <array>
 #include <cstdint>
 
 namespace rr {
@@ -65,6 +66,23 @@ class Rng {
 
   /// Derives an independent stream (for per-thread / per-trial RNGs).
   Rng split() { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
+
+  // ---- stream-state save/restore (checkpointing) ----
+  //
+  // The four state words fully determine the future of the stream, so a
+  // saved state resumes a random-walk engine bit-exactly (sim/checkpoint).
+
+  std::array<std::uint64_t, 4> save_state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  /// Restores a state captured by save_state(). Rejects the all-zero state
+  /// (a fixed point of xoshiro256**, never produced by seeding).
+  bool restore_state(const std::array<std::uint64_t, 4>& state) {
+    if ((state[0] | state[1] | state[2] | state[3]) == 0) return false;
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
+    return true;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -65,18 +65,10 @@ bool LazyRingRotorRouter::try_promote(bool force) {
   visit_counts_ = RangeAddFenwick(visits0);
 
   first_visit_.resize(n_);
-  unvisited_.clear();
   for (NodeId v = 0; v < n_; ++v) {
     first_visit_[v] = dense_->first_visit_time(v);
-    if (first_visit_[v] == sim::kNotCovered) {
-      if (v == 0 || first_visit_[v - 1] != sim::kNotCovered) {
-        unvisited_.emplace_hint(unvisited_.end(), v, v);
-      } else {
-        std::prev(unvisited_.end())->second = v;
-      }
-    }
   }
-  covered_ = dense_->covered_count();
+  rebuild_unvisited_from_first_visit();
   time_ = dense_->time();
   dense_.reset();
   return true;
@@ -150,6 +142,20 @@ std::uint64_t LazyRingRotorRouter::ring_dist(NodeId origin, NodeId u,
   const NodeId d = dir == kClockwise ? static_cast<NodeId>((u + n_ - origin) % n_)
                                      : static_cast<NodeId>((origin + n_ - u) % n_);
   return d == 0 ? n_ : d;
+}
+
+void LazyRingRotorRouter::rebuild_unvisited_from_first_visit() {
+  covered_ = 0;
+  unvisited_.clear();
+  for (NodeId v = 0; v < n_; ++v) {
+    if (first_visit_[v] != sim::kNotCovered) {
+      ++covered_;
+    } else if (v == 0 || first_visit_[v - 1] != sim::kNotCovered) {
+      unvisited_.emplace_hint(unvisited_.end(), v, v);
+    } else {
+      std::prev(unvisited_.end())->second = v;
+    }
+  }
 }
 
 void LazyRingRotorRouter::mark_visited(NodeId v, std::uint64_t round) {
@@ -476,6 +482,115 @@ std::uint64_t LazyRingRotorRouter::config_hash() const {
     h.mix(count);
   }
   return h.value();
+}
+
+// ---- state I/O ----
+
+void LazyRingRotorRouter::serialize_state(sim::StateWriter& out) const {
+  if (dense_) {
+    out.field("phase", "dense");
+    dense_->serialize_state(out);
+    out.field_u64("next_promo", next_promo_);
+    out.field_u64("promo_interval", promo_interval_);
+    return;
+  }
+  out.field("phase", "lazy");
+  out.field_u64("time", time_);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> runs(runs_.begin(),
+                                                            runs_.end());
+  out.field_pairs("runs", runs);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sites;
+  sites.reserve(sites_.size());
+  for (const Site& s : sites_) sites.emplace_back(s.node, s.count);
+  out.field_pairs("agents", sites);
+  std::vector<std::uint64_t> visits(n_);
+  for (NodeId v = 0; v < n_; ++v) {
+    visits[v] = static_cast<std::uint64_t>(visit_counts_.at(v));
+  }
+  out.field_list("visits", visits);
+  out.field_list("first_visit", first_visit_);
+}
+
+bool LazyRingRotorRouter::deserialize_state(const sim::StateReader& in) {
+  const auto phase = in.raw("phase");
+  if (!phase) return false;
+  if (*phase == "dense") {
+    // Demote if the constructor already promoted this instance (compact
+    // initial fields go lazy at round 0): the dense engine is rebuilt and
+    // then overwritten field-by-field by its own deserialize.
+    if (!dense_) {
+      dense_ = std::make_unique<RingRotorRouter>(n_, std::vector<NodeId>{0});
+    }
+    if (!dense_->deserialize_state(in)) return false;
+    const auto next_promo = in.u64("next_promo");
+    const auto promo_interval = in.u64("promo_interval");
+    if (!next_promo || !promo_interval || *promo_interval == 0) return false;
+    k_ = dense_->num_agents();
+    next_promo_ = *next_promo;
+    promo_interval_ = *promo_interval;
+    runs_.clear();
+    sites_.clear();
+    arrivals_.clear();
+    merged_.clear();
+    visit_counts_ = RangeAddFenwick();
+    first_visit_.clear();
+    unvisited_.clear();
+    time_ = 0;
+    covered_ = 0;
+    return true;
+  }
+  if (*phase != "lazy") return false;
+
+  const auto time = in.u64("time");
+  const auto runs = in.pairs("runs");
+  const auto sites = in.pairs("agents");
+  const auto visits = in.u64_list("visits", n_);
+  const auto first_visit = in.u64_list("first_visit", n_);
+  if (!time || !runs || runs->empty() || !sites || sites->empty() || !visits ||
+      !first_visit) {
+    return false;
+  }
+  if ((*runs)[0].first != 0) return false;  // node 0 always starts a run
+  for (const auto& [start, value] : *runs) {
+    if (start >= n_ || value > 1) return false;
+  }
+  std::uint64_t total_agents = 0;
+  for (const auto& [v, c] : *sites) {
+    if (v >= n_ || c == 0 || c > ~std::uint32_t{0}) return false;
+    total_agents += c;
+  }
+  if (total_agents > ~std::uint32_t{0}) return false;
+  for (std::uint64_t x : *visits) {
+    if (x > static_cast<std::uint64_t>(~std::uint64_t{0} >> 1)) return false;
+  }
+
+  time_ = *time;
+  k_ = static_cast<std::uint32_t>(total_agents);
+  runs_.clear();
+  for (const auto& [start, value] : *runs) {
+    // Merge redundant splits so segment_from sees maximal runs again.
+    if (!runs_.empty() && std::prev(runs_.end())->second ==
+                              static_cast<std::uint8_t>(value)) {
+      continue;
+    }
+    runs_.emplace_hint(runs_.end(), static_cast<NodeId>(start),
+                       static_cast<std::uint8_t>(value));
+  }
+  sites_.clear();
+  for (const auto& [v, c] : *sites) {
+    sites_.push_back({static_cast<NodeId>(v), static_cast<std::uint32_t>(c)});
+  }
+  arrivals_.clear();
+  merged_.clear();
+  std::vector<std::int64_t> values(n_);
+  for (NodeId v = 0; v < n_; ++v) {
+    values[v] = static_cast<std::int64_t>((*visits)[v]);
+  }
+  visit_counts_ = RangeAddFenwick(values);
+  first_visit_ = *first_visit;
+  rebuild_unvisited_from_first_visit();
+  dense_.reset();
+  return true;
 }
 
 }  // namespace rr::core

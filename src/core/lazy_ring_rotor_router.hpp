@@ -46,7 +46,7 @@
 
 namespace rr::core {
 
-class LazyRingRotorRouter final : public sim::Engine {
+class LazyRingRotorRouter final : public sim::Engine, public sim::StateIO {
  public:
   /// Same contract as RingRotorRouter: `agents` is the multiset of starting
   /// nodes, `pointers` the per-node initial pointer (empty = all clockwise).
@@ -109,6 +109,15 @@ class LazyRingRotorRouter final : public sim::Engine {
   /// Maximal constant runs of the pointer field (the promotion criterion;
   /// a run wrapping past node 0 counts as two).
   std::uint32_t pointer_arc_count() const;
+
+  /// Phase-tagged state: `phase=dense` delegates to the inner dense engine
+  /// (plus the promotion schedule), `phase=lazy` stores the promoted O(k)
+  /// representation (pointer runs, sites) with dense visit statistics. A
+  /// load flips the fresh instance into whichever phase the checkpoint
+  /// holds — including demoting a lazily-constructed instance back to the
+  /// dense engine when the checkpoint predates promotion.
+  void serialize_state(sim::StateWriter& out) const override;
+  [[nodiscard]] bool deserialize_state(const sim::StateReader& in) override;
 
  private:
   struct Site {
@@ -198,6 +207,9 @@ class LazyRingRotorRouter final : public sim::Engine {
   std::uint64_t ring_dist(NodeId origin, NodeId u, std::uint8_t dir) const;
 
   void mark_visited(NodeId v, std::uint64_t round);
+  /// Recomputes covered_ and the unvisited_ arc map from first_visit_
+  /// (shared by promotion and checkpoint load).
+  void rebuild_unvisited_from_first_visit();
 
   NodeId fwd(NodeId v, std::uint64_t d) const {
     return static_cast<NodeId>((v + d) % n_);

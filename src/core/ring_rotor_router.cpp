@@ -124,4 +124,70 @@ std::uint64_t RingRotorRouter::config_hash() const {
   return h.value();
 }
 
+void RingRotorRouter::serialize_state(sim::StateWriter& out) const {
+  out.field_u64("time", time_);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sites;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (counts_[v] > 0) sites.emplace_back(v, counts_[v]);
+  }
+  out.field_pairs("agents", sites);
+  out.field_dirs("pointers", pointers_);
+  out.field_list("visits", visits_);
+  out.field_list("exits", exits_);
+  out.field_list("first_visit", first_visit_);
+  out.field_list("last_visit", last_visit_);
+  out.field_dirs("travel_dir", travel_dir_);
+  out.field_list("last_arrival", last_arrival_count_);
+  out.field_bits("last_single_prop", last_single_prop_);
+}
+
+bool RingRotorRouter::deserialize_state(const sim::StateReader& in) {
+  const auto time = in.u64("time");
+  const auto sites = in.pairs("agents");
+  const auto pointers = in.dirs("pointers", n_);
+  const auto visits = in.u64_list("visits", n_);
+  const auto exits = in.u64_list("exits", n_);
+  const auto first_visit = in.u64_list("first_visit", n_);
+  const auto last_visit = in.u64_list("last_visit", n_);
+  const auto travel_dir = in.dirs("travel_dir", n_);
+  const auto last_arrival = in.u64_list("last_arrival", n_);
+  const auto last_single_prop = in.bits("last_single_prop", n_);
+  if (!time || !sites || sites->empty() || !pointers || !visits || !exits ||
+      !first_visit || !last_visit || !travel_dir || !last_arrival ||
+      !last_single_prop) {
+    return false;
+  }
+  std::uint64_t total_agents = 0;
+  for (const auto& [v, c] : *sites) {
+    if (v >= n_ || c == 0 || c > ~std::uint32_t{0}) return false;
+    total_agents += c;
+  }
+  if (total_agents > ~std::uint32_t{0}) return false;
+  for (std::uint64_t a : *last_arrival) {
+    if (a > ~std::uint32_t{0}) return false;
+  }
+
+  time_ = *time;
+  num_agents_ = static_cast<std::uint32_t>(total_agents);
+  counts_.assign(n_, 0);
+  occupied_.clear();
+  for (const auto& [v, c] : *sites) {
+    counts_[v] = static_cast<std::uint32_t>(c);
+    occupied_.push_back(static_cast<NodeId>(v));
+  }
+  pointers_ = *pointers;
+  visits_ = *visits;
+  exits_ = *exits;
+  first_visit_ = *first_visit;
+  last_visit_ = *last_visit;
+  travel_dir_ = *travel_dir;
+  last_arrival_count_.assign(last_arrival->begin(), last_arrival->end());
+  last_single_prop_ = *last_single_prop;
+  covered_ = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (first_visit_[v] != kRingNotCovered) ++covered_;
+  }
+  return true;
+}
+
 }  // namespace rr::core

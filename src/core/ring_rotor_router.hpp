@@ -19,6 +19,7 @@
 
 #include "common/require.hpp"
 #include "sim/engine.hpp"
+#include "sim/state_io.hpp"
 
 namespace rr::core {
 
@@ -29,7 +30,7 @@ inline constexpr std::uint8_t kAnticlockwise = 1;
 
 inline constexpr std::uint64_t kRingNotCovered = sim::kNotCovered;
 
-class RingRotorRouter final : public sim::Engine {
+class RingRotorRouter final : public sim::Engine, public sim::StateIO {
  public:
   /// `agents`: multiset of starting nodes; `pointers`: per-node initial
   /// pointer (0 = clockwise, 1 = anticlockwise), empty means all clockwise.
@@ -90,6 +91,12 @@ class RingRotorRouter final : public sim::Engine {
   std::uint64_t config_hash() const override;
 
   const char* engine_name() const override { return "ring-rotor-router"; }
+
+  /// Full dynamical state, including the Sec. 2.2 visit-classification
+  /// fields (travel direction, last arrival count, single-propagation
+  /// flag) so domain analyses continue exactly after a resume.
+  void serialize_state(sim::StateWriter& out) const override;
+  [[nodiscard]] bool deserialize_state(const sim::StateReader& in) override;
 
   NodeId clockwise(NodeId v) const { return v + 1 == n_ ? 0 : v + 1; }
   NodeId anticlockwise(NodeId v) const { return v == 0 ? n_ - 1 : v - 1; }

@@ -85,4 +85,66 @@ std::uint64_t RotorRouter::config_hash() const {
   return h.value();
 }
 
+void RotorRouter::serialize_state(sim::StateWriter& out) const {
+  const NodeId n = csr_.num_nodes();
+  out.field_u64("time", time_);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sites;
+  for (NodeId v = 0; v < n; ++v) {
+    if (counts_[v] > 0) sites.emplace_back(v, counts_[v]);
+  }
+  out.field_pairs("agents", sites);
+  out.field_list("pointers", pointers_);
+  out.field_list("initial_pointers", initial_pointers_);
+  out.field_list("visits", visits_);
+  out.field_list("exits", exits_);
+  out.field_list("first_visit", first_visit_);
+  out.field_list("last_visit", last_visit_);
+}
+
+bool RotorRouter::deserialize_state(const sim::StateReader& in) {
+  const NodeId n = csr_.num_nodes();
+  const auto time = in.u64("time");
+  const auto sites = in.pairs("agents");
+  const auto pointers = in.u64_list("pointers", n);
+  const auto initial = in.u64_list("initial_pointers", n);
+  const auto visits = in.u64_list("visits", n);
+  const auto exits = in.u64_list("exits", n);
+  const auto first_visit = in.u64_list("first_visit", n);
+  const auto last_visit = in.u64_list("last_visit", n);
+  if (!time || !sites || sites->empty() || !pointers || !initial || !visits ||
+      !exits || !first_visit || !last_visit) {
+    return false;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if ((*pointers)[v] >= csr_.degree_unchecked(v)) return false;
+    if ((*initial)[v] >= csr_.degree_unchecked(v)) return false;
+  }
+  std::uint64_t total_agents = 0;
+  for (const auto& [v, c] : *sites) {
+    if (v >= n || c == 0 || c > ~std::uint32_t{0}) return false;
+    total_agents += c;
+  }
+  if (total_agents > ~std::uint32_t{0}) return false;
+
+  time_ = *time;
+  num_agents_ = static_cast<std::uint32_t>(total_agents);
+  counts_.assign(n, 0);
+  occupied_.clear();
+  for (const auto& [v, c] : *sites) {
+    counts_[v] = static_cast<std::uint32_t>(c);
+    occupied_.push_back(static_cast<NodeId>(v));
+  }
+  pointers_.assign(pointers->begin(), pointers->end());
+  initial_pointers_.assign(initial->begin(), initial->end());
+  visits_ = *visits;
+  exits_ = *exits;
+  first_visit_ = *first_visit;
+  last_visit_ = *last_visit;
+  covered_ = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (first_visit_[v] != kNotCovered) ++covered_;
+  }
+  return true;
+}
+
 }  // namespace rr::core

@@ -28,6 +28,7 @@
 #include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 #include "sim/engine.hpp"
+#include "sim/state_io.hpp"
 
 namespace rr::core {
 
@@ -37,7 +38,7 @@ using graph::NodeId;
 
 inline constexpr std::uint64_t kNotCovered = sim::kNotCovered;
 
-class RotorRouter final : public sim::Engine {
+class RotorRouter final : public sim::Engine, public sim::StateIO {
  public:
   /// `agents`: multiset of starting nodes (k = agents.size()).
   /// `pointers`: initial pi_v per node; empty means all ports 0.
@@ -131,6 +132,12 @@ class RotorRouter final : public sim::Engine {
   std::uint64_t config_hash() const override;
 
   const char* engine_name() const override { return "rotor-router"; }
+
+  /// Full dynamical state: time, pointer field (current and initial, the
+  /// latter backing arc_traversals), sparse agent counts, visit/exit
+  /// statistics. A deserialized engine continues bit-exactly.
+  void serialize_state(sim::StateWriter& out) const override;
+  [[nodiscard]] bool deserialize_state(const sim::StateReader& in) override;
 
  private:
   void do_step_delayed(const sim::DelayFn& delay) override {

@@ -9,7 +9,11 @@
 //   ring n=16 agents=0,0,8 pointers=cwwc...  (c = clockwise, w = acw)
 //
 // Engine states (pointers + agent counts at time t) use the same encoding,
-// letting a long simulation be checkpointed and resumed exactly.
+// letting a configuration be re-seeded exactly — but with visit statistics
+// starting fresh. Full-state checkpointing (time, visit statistics, every
+// backend, any substrate) is the engine-generic layer in
+// sim/checkpoint.hpp; this module remains the compact single-line manifest
+// format for ring *configurations*.
 
 #include <optional>
 #include <string>

@@ -1,8 +1,7 @@
 #include "core/trace.hpp"
 
-#include <algorithm>
-
 #include "core/domains.hpp"
+#include "sim/trace.hpp"
 
 namespace rr::core {
 
@@ -66,19 +65,12 @@ std::vector<TraceRow> record_trace(RingRotorRouter& rr,
 }
 
 std::string format_trace(const std::vector<TraceRow>& rows) {
-  // Width of the round label column.
-  std::uint64_t max_round = 0;
-  for (const auto& r : rows) max_round = std::max(max_round, r.round);
-  std::size_t width = 1;
-  for (std::uint64_t x = max_round; x >= 10; x /= 10) ++width;
-
-  std::string out;
-  for (const auto& r : rows) {
-    std::string label = std::to_string(r.round);
-    out += "t=" + std::string(width - label.size(), ' ') + label + " |" +
-           r.cells + "|\n";
-  }
-  return out;
+  // Formatting lives in the engine-generic layer; this shim only adapts
+  // the ring-specific row type.
+  std::vector<sim::TraceFrame> frames;
+  frames.reserve(rows.size());
+  for (const auto& r : rows) frames.push_back({r.round, {r.cells}});
+  return sim::format_trace(frames);
 }
 
 }  // namespace rr::core

@@ -2,9 +2,14 @@
 
 // Space-time tracing of ring configurations (S6 extension).
 //
-// Renders the evolution of a (small) ring system as ASCII space-time
-// diagrams — one row per sampled round, one column per node — used by the
-// spacetime_diagram example and the Fig. 1/Fig. 2 illustrations:
+// Ring-specialized rendering layer: per-agent glyphs and domain labels
+// need RingRotorRouter accessors beyond the sim::Engine observer surface,
+// so they live here; recording/formatting mechanics are shared with the
+// engine-generic renderer in sim/trace.hpp (which also draws torus and
+// random-graph runs). Renders the evolution of a (small) ring system as
+// ASCII space-time diagrams — one row per sampled round, one column per
+// node — used by the spacetime_diagram example and the Fig. 1/Fig. 2
+// illustrations:
 //
 //   time 0   |oooo                            |  agents bunched at node 0
 //   time 16  |  .o.o..o.                o.    |  domains forming

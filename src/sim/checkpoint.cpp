@@ -1,0 +1,143 @@
+#include "sim/checkpoint.hpp"
+
+#include <cstdio>
+
+#include "common/require.hpp"
+#include "core/lazy_ring_rotor_router.hpp"
+#include "core/ring_rotor_router.hpp"
+#include "core/rotor_router.hpp"
+#include "graph/descriptor.hpp"
+#include "walk/random_walk.hpp"
+
+namespace rr::sim {
+
+namespace {
+
+constexpr const char* kEnginePrefix = " engine=";
+constexpr const char* kGraphPrefix = " graph=";
+
+/// The ring engines only run on graph::ring(n); extracts n from a
+/// "ring <n>" descriptor (nullopt for any other substrate).
+std::optional<NodeId> ring_size(const std::string& descriptor) {
+  const auto d = graph::GraphDescriptor::parse(descriptor);
+  if (!d || d->kind != "ring") return std::nullopt;
+  return d->num_nodes();
+}
+
+}  // namespace
+
+std::string write_checkpoint(const Engine& engine,
+                             const std::string& graph_descriptor) {
+  const auto* io = dynamic_cast<const StateIO*>(&engine);
+  RR_REQUIRE(io != nullptr, "engine does not implement sim::StateIO");
+  StateWriter body;
+  io->serialize_state(body);
+  std::string out = std::string(kCheckpointMagic) + kEnginePrefix +
+                    engine.engine_name() + kGraphPrefix + graph_descriptor +
+                    "\n";
+  out += body.text();
+  out += "end\n";
+  return out;
+}
+
+std::optional<ParsedCheckpoint> parse_checkpoint(const std::string& text) {
+  std::size_t eol = text.find('\n');
+  if (eol == std::string::npos) return std::nullopt;
+  const std::string_view header(text.data(), eol);
+  const std::string_view magic(kCheckpointMagic);
+  if (header.substr(0, magic.size()) != magic) return std::nullopt;
+  std::string_view rest = header.substr(magic.size());
+  const std::string_view engine_prefix(kEnginePrefix);
+  if (rest.substr(0, engine_prefix.size()) != engine_prefix) return std::nullopt;
+  rest.remove_prefix(engine_prefix.size());
+  const std::size_t graph_at = rest.find(kGraphPrefix);
+  if (graph_at == std::string_view::npos || graph_at == 0) return std::nullopt;
+  const std::string_view engine = rest.substr(0, graph_at);
+  const std::string_view descriptor =
+      rest.substr(graph_at + std::string_view(kGraphPrefix).size());
+  if (descriptor.empty()) return std::nullopt;
+
+  // Body: everything after the header up to the terminating "end" line.
+  const std::string_view tail(text.data() + eol + 1, text.size() - eol - 1);
+  std::size_t end_at = std::string_view::npos;
+  if (tail == "end\n" || tail == "end") {
+    end_at = 0;
+  } else {
+    const std::size_t marker = tail.rfind("\nend");
+    // "end" must terminate the document (optionally newline-terminated).
+    if (marker != std::string_view::npos &&
+        (marker + 4 == tail.size() ||
+         (marker + 5 == tail.size() && tail[marker + 4] == '\n'))) {
+      end_at = marker + 1;
+    }
+  }
+  if (end_at == std::string_view::npos) return std::nullopt;
+  const auto state = StateReader::parse(tail.substr(0, end_at));
+  if (!state) return std::nullopt;
+  return ParsedCheckpoint{std::string(engine), std::string(descriptor),
+                          std::move(*state)};
+}
+
+std::unique_ptr<Engine> restore_checkpoint(const ParsedCheckpoint& parsed) {
+  if (parsed.engine == "ring-rotor-router" ||
+      parsed.engine == "lazy-ring-rotor-router") {
+    const auto n = ring_size(parsed.graph_descriptor);
+    if (!n) return nullptr;
+    if (parsed.engine == "ring-rotor-router") {
+      auto engine = std::make_unique<core::RingRotorRouter>(
+          *n, std::vector<core::NodeId>{0});
+      if (!engine->deserialize_state(parsed.state)) return nullptr;
+      return engine;
+    }
+    auto engine = std::make_unique<core::LazyRingRotorRouter>(
+        *n, std::vector<core::NodeId>{0});
+    if (!engine->deserialize_state(parsed.state)) return nullptr;
+    return engine;
+  }
+
+  if (parsed.engine == "rotor-router" || parsed.engine == "random-walks") {
+    const auto g = graph::graph_from_descriptor(parsed.graph_descriptor);
+    if (!g) return nullptr;
+    if (parsed.engine == "rotor-router") {
+      auto engine = std::make_unique<core::RotorRouter>(
+          *g, std::vector<graph::NodeId>{0});
+      if (!engine->deserialize_state(parsed.state)) return nullptr;
+      return engine;
+    }
+    if (g->degree(0) == 0) return nullptr;  // placeholder walker needs an edge
+    auto engine = std::make_unique<walk::GraphRandomWalks>(
+        *g, std::vector<graph::NodeId>{0}, /*seed=*/1);
+    if (!engine->deserialize_state(parsed.state)) return nullptr;
+    return engine;
+  }
+
+  return nullptr;
+}
+
+std::unique_ptr<Engine> restore_checkpoint(const std::string& text) {
+  const auto parsed = parse_checkpoint(text);
+  if (!parsed) return nullptr;
+  return restore_checkpoint(*parsed);
+}
+
+bool save_checkpoint_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::optional<std::string> read_text_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return std::nullopt;
+  std::string out;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return out;
+}
+
+}  // namespace rr::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+// Versioned, self-describing engine checkpoints (sim layer).
+//
+// A checkpoint is a small text document that fully determines a running
+// simulation — which engine, on which graph, in which dynamical state —
+// so a multi-million-round sweep can stop, move hosts, and resume
+// bit-exactly. The format:
+//
+//   rr-ckpt v1 engine=<engine-name> graph=<graph-descriptor>
+//   <key>=<value>          (engine state fields, sim/state_io.hpp)
+//   ...
+//   end
+//
+// The header names the engine backend (sim::Engine::engine_name) and the
+// substrate (graph/descriptor.hpp), making the document sufficient to
+// reconstruct the run with no out-of-band knowledge: restore_checkpoint
+// rebuilds the graph from the descriptor, instantiates the named backend,
+// and hands the body to the engine's StateIO::deserialize_state.
+//
+// Correctness contract (enforced by the differential harness's
+// save→load→continue lane): for every backend, a run checkpointed at any
+// round and resumed in a fresh process produces per-round config_hash,
+// visits, and cover times identical to the uninterrupted run.
+//
+// Parsing is total: malformed headers, bodies, or descriptors yield
+// nullopt/nullptr, never an abort (checkpoints are external input).
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/state_io.hpp"
+
+namespace rr::sim {
+
+inline constexpr const char* kCheckpointMagic = "rr-ckpt v1";
+
+/// Serializes a running engine. `graph_descriptor` names the substrate
+/// (graph/descriptor.hpp text form; "ring <n>" for the ring engines).
+/// The engine must implement sim::StateIO (all in-tree backends do).
+std::string write_checkpoint(const Engine& engine,
+                             const std::string& graph_descriptor);
+
+/// A parsed checkpoint: header fields plus the state body.
+struct ParsedCheckpoint {
+  std::string engine;            ///< engine_name() of the writer
+  std::string graph_descriptor;  ///< substrate descriptor text
+  StateReader state;             ///< body fields
+};
+
+/// Splits and validates the document; nullopt on any malformed framing.
+std::optional<ParsedCheckpoint> parse_checkpoint(const std::string& text);
+
+/// Rebuilds the graph, instantiates the named backend, and restores the
+/// state. nullptr on malformed input, unknown engine, or a state body
+/// inconsistent with the substrate.
+std::unique_ptr<Engine> restore_checkpoint(const std::string& text);
+
+/// Same, from an already-parsed document (callers that also need the
+/// header fields parse once and restore from the result).
+std::unique_ptr<Engine> restore_checkpoint(const ParsedCheckpoint& parsed);
+
+/// File convenience wrappers (whole-file read/write).
+bool save_checkpoint_file(const std::string& path, const std::string& text);
+std::optional<std::string> read_text_file(const std::string& path);
+
+}  // namespace rr::sim

@@ -1,11 +1,63 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 
+#include "common/parse.hpp"
+
 namespace rr::sim {
+
+std::string SweepCheckpoint::to_text() const {
+  std::string out = "rr-sweep v1 trials=" + std::to_string(trials) + " done=";
+  bool first = true;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    if (!done[i]) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out += std::to_string(i);
+    out.push_back(':');
+    out += std::to_string(results[i]);
+  }
+  out.push_back('\n');
+  return out;
+}
+
+std::optional<SweepCheckpoint> SweepCheckpoint::from_text(
+    const std::string& text) {
+  std::string_view rest = text;
+  if (!rest.empty() && rest.back() == '\n') rest.remove_suffix(1);
+  constexpr std::string_view prefix = "rr-sweep v1 trials=";
+  if (rest.substr(0, prefix.size()) != prefix) return std::nullopt;
+  rest.remove_prefix(prefix.size());
+  const std::size_t sep = rest.find(" done=");
+  if (sep == std::string_view::npos) return std::nullopt;
+  const auto trials = parse_u64(rest.substr(0, sep));
+  // The cap bounds what a one-line external document can make fresh()
+  // allocate (2^24 trials = ~150 MB of done+results) — "never aborts"
+  // includes not dying in bad_alloc on a crafted trial count.
+  if (!trials || *trials == 0 || *trials > (1ULL << 24)) return std::nullopt;
+  SweepCheckpoint ck = fresh(*trials);
+  std::string_view items = rest.substr(sep + 6);
+  while (!items.empty()) {
+    std::size_t comma = items.find(',');
+    if (comma == std::string_view::npos) comma = items.size();
+    const std::string_view item = items.substr(0, comma);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    const auto index = parse_u64(item.substr(0, colon));
+    const auto value = parse_u64(item.substr(colon + 1));
+    if (!index || !value || *index >= ck.trials || ck.done[*index]) {
+      return std::nullopt;
+    }
+    ck.done[*index] = 1;
+    ck.results[*index] = *value;
+    items.remove_prefix(comma == items.size() ? comma : comma + 1);
+  }
+  return ck;
+}
 
 // Batch protocol: for_each publishes (fn, jobs, generation) under the lock
 // and wakes the workers. A worker that observes a new generation counts
@@ -21,19 +73,24 @@ struct Runner::Pool {
   std::condition_variable batch_done;
   const std::function<void(std::uint64_t)>* fn = nullptr;
   std::uint64_t jobs = 0;
+  std::uint64_t chunk = 1;
   std::atomic<std::uint64_t> next{0};
   std::uint64_t generation = 0;
   unsigned active = 0;  // workers currently inside drain(); guarded by mu
   bool stop = false;
 
-  // Claims and runs jobs of the current batch until none are left.
+  // Claims and runs jobs of the current batch until none are left. Each
+  // fetch-add claims a contiguous chunk, so tiny jobs (~1e6-trial sweeps)
+  // don't serialize every claim on the shared counter.
   void drain() {
     const auto* f = fn;
     const std::uint64_t count = jobs;
+    const std::uint64_t step = chunk;
     for (;;) {
-      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      (*f)(i);
+      const std::uint64_t base = next.fetch_add(step, std::memory_order_relaxed);
+      if (base >= count) break;
+      const std::uint64_t limit = std::min(count, base + step);
+      for (std::uint64_t i = base; i < limit; ++i) (*f)(i);
     }
   }
 };
@@ -81,13 +138,20 @@ Runner::~Runner() {
 }
 
 void Runner::for_each(std::uint64_t jobs,
-                      const std::function<void(std::uint64_t)>& fn) {
+                      const std::function<void(std::uint64_t)>& fn,
+                      std::uint64_t chunk) {
   RR_REQUIRE(jobs > 0, "need at least one job");
   Pool& p = *pool_;
+  if (chunk == 0) {
+    // Auto-size: ~8 claims per thread keeps skewed runtimes balanced; the
+    // 64 cap bounds the tail (last chunk) of very large batches.
+    chunk = std::clamp<std::uint64_t>(jobs / (8ULL * num_threads()), 1, 64);
+  }
   {
     std::lock_guard<std::mutex> lock(p.mu);
     p.fn = &fn;
     p.jobs = jobs;
+    p.chunk = chunk;
     p.next.store(0, std::memory_order_relaxed);
     ++p.generation;
   }
@@ -120,6 +184,27 @@ std::vector<std::uint64_t> Runner::cover_times(std::uint64_t trials,
     covers[i] = factory(i)->run_until_covered(max_rounds);
   });
   return covers;
+}
+
+std::vector<std::uint64_t> Runner::cover_times(std::uint64_t trials,
+                                               const EngineFactory& factory,
+                                               std::uint64_t max_rounds,
+                                               SweepCheckpoint& ck) {
+  RR_REQUIRE(ck.trials == trials && ck.done.size() == trials &&
+                 ck.results.size() == trials,
+             "sweep checkpoint shape mismatch");
+  std::vector<std::uint64_t> pending;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    if (!ck.done[i]) pending.push_back(i);
+  }
+  if (!pending.empty()) {
+    for_each(pending.size(), [&](std::uint64_t j) {
+      const std::uint64_t trial = pending[j];
+      ck.results[trial] = factory(trial)->run_until_covered(max_rounds);
+      ck.done[trial] = 1;
+    });
+  }
+  return ck.results;
 }
 
 analysis::RunningStats Runner::cover_stats(std::uint64_t trials,

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -89,6 +90,41 @@ inline void print_bench_header(const std::string& title,
               paper_ref.c_str(), bench_scale());
 }
 
+// ---- sweep checkpointing ----
+//
+// Long sweeps (millions of trials) need the same resumability as single
+// runs (sim/checkpoint.hpp): a SweepCheckpoint records which trials have
+// finished and their results, round-trips through a one-line text form
+// ("rr-sweep v1 trials=<N> done=<i>:<v>,..."), and feeds the resumable
+// cover_times overload, which only runs the missing trials. Trials are
+// deterministic in their index (derive_seed), so a resumed sweep fills in
+// exactly the values the uninterrupted sweep would have produced.
+
+struct SweepCheckpoint {
+  std::uint64_t trials = 0;
+  std::vector<std::uint8_t> done;        ///< 1 = results[i] is valid
+  std::vector<std::uint64_t> results;    ///< per-trial cover times
+
+  static SweepCheckpoint fresh(std::uint64_t trials) {
+    SweepCheckpoint ck;
+    ck.trials = trials;
+    ck.done.assign(trials, 0);
+    ck.results.assign(trials, 0);
+    return ck;
+  }
+
+  std::uint64_t completed() const {
+    std::uint64_t c = 0;
+    for (std::uint8_t d : done) c += d;
+    return c;
+  }
+  bool complete() const { return completed() == trials; }
+
+  std::string to_text() const;
+  /// nullopt on malformed input (never aborts: checkpoints are external).
+  static std::optional<SweepCheckpoint> from_text(const std::string& text);
+};
+
 // ---- the batched runner ----
 
 class Runner {
@@ -107,9 +143,14 @@ class Runner {
   }
 
   /// Runs fn(i) for i in [0, jobs) across the pool; blocks until all jobs
-  /// finished. Jobs are claimed dynamically (good for skewed runtimes).
+  /// finished. Jobs are claimed dynamically in contiguous chunks: one
+  /// atomic fetch-add claims `chunk` jobs, so a sweep of ~1e6 tiny trials
+  /// does not serialize on the shared counter. `chunk` 0 picks a size
+  /// automatically (~jobs/8 per thread, capped at 64 — small enough to
+  /// keep skewed runtimes balanced, large enough to amortize contention).
   void for_each(std::uint64_t jobs,
-                const std::function<void(std::uint64_t)>& fn);
+                const std::function<void(std::uint64_t)>& fn,
+                std::uint64_t chunk = 0);
 
   /// Runs fn over [0, jobs); returns the results in job order.
   std::vector<double> map(std::uint64_t jobs,
@@ -126,6 +167,15 @@ class Runner {
   std::vector<std::uint64_t> cover_times(std::uint64_t trials,
                                          const EngineFactory& factory,
                                          std::uint64_t max_rounds);
+
+  /// Resumable cover_times: only trials not marked done in `ck` run; their
+  /// results and done flags are filled in. `ck.trials` must match `trials`
+  /// (pass SweepCheckpoint::fresh(trials) to start). Returns the complete
+  /// result vector in trial order.
+  std::vector<std::uint64_t> cover_times(std::uint64_t trials,
+                                         const EngineFactory& factory,
+                                         std::uint64_t max_rounds,
+                                         SweepCheckpoint& ck);
 
   /// cover_times folded into stats; requires every trial to cover within
   /// `max_rounds` (aborts otherwise — raise the cap).

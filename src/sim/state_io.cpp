@@ -1,0 +1,85 @@
+#include "sim/state_io.hpp"
+
+#include "common/parse.hpp"
+
+namespace rr::sim {
+
+std::optional<StateReader> StateReader::parse(std::string_view body) {
+  StateReader reader;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string_view::npos) eol = body.size();
+    const std::string_view line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos || eq == 0) return std::nullopt;
+    const std::string_view key = line.substr(0, eq);
+    for (const auto& [k, v] : reader.fields_) {
+      if (k == key) return std::nullopt;  // duplicate key
+    }
+    reader.fields_.emplace_back(std::string(key), std::string(line.substr(eq + 1)));
+  }
+  return reader;
+}
+
+std::optional<std::uint64_t> StateReader::u64(std::string_view key) const {
+  const std::string* v = find(key);
+  if (!v) return std::nullopt;
+  return parse_u64(*v);
+}
+
+std::optional<std::vector<std::uint64_t>> StateReader::u64_list(
+    std::string_view key, std::size_t expected) const {
+  const std::string* raw = find(key);
+  if (!raw) return std::nullopt;
+  std::vector<std::uint64_t> out;
+  const std::string_view text = *raw;
+  if (!text.empty()) {
+    std::size_t pos = 0;
+    while (true) {
+      std::size_t comma = text.find(',', pos);
+      if (comma == std::string_view::npos) comma = text.size();
+      const std::string_view item = text.substr(pos, comma - pos);
+      if (item == "-") {
+        out.push_back(kStateSentinel);
+      } else {
+        const auto v = parse_u64(item);
+        if (!v) return std::nullopt;
+        out.push_back(*v);
+      }
+      if (comma == text.size()) break;
+      pos = comma + 1;
+    }
+  }
+  if (expected > 0 && out.size() != expected) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+StateReader::pairs(std::string_view key) const {
+  const std::string* raw = find(key);
+  if (!raw) return std::nullopt;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  const std::string_view text = *raw;
+  if (text.empty()) return out;
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view item = text.substr(pos, comma - pos);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    const auto index = parse_u64(item.substr(0, colon));
+    const auto value = parse_u64(item.substr(colon + 1));
+    if (!index || !value) return std::nullopt;
+    if (!out.empty() && *index <= out.back().first) return std::nullopt;
+    out.emplace_back(*index, *value);
+    if (comma == text.size()) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace rr::sim

@@ -1,0 +1,195 @@
+#pragma once
+
+// Engine-generic state (de)serialization contract (sim layer).
+//
+// The paper's experiments are defined by reproducible configurations —
+// graph, agent multiset, rotor field — and the long sweeps the roadmap
+// calls for need those configurations to survive a process restart.
+// `StateIO` is the contract every sim::Engine backend implements: it
+// serializes the engine's *full* dynamical state (time, rotor/pointer
+// field, agent positions, visit statistics, RNG stream for stochastic
+// engines) into named text fields, and restores it bit-exactly, so a
+// resumed run is indistinguishable from an uninterrupted one (per-round
+// config_hash / visits / cover-time equality is enforced by the
+// differential harness's save→load→continue lane).
+//
+// Fields are key=value lines; the framing (header with engine name and
+// graph descriptor, versioning, file I/O, the engine factory) lives in
+// sim/checkpoint.{hpp,cpp}. Readers never abort on malformed input —
+// checkpoints are external data — every parse failure surfaces as
+// false/nullopt.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rr::sim {
+
+/// Sentinel encoded as '-' in u64 lists (kNotCovered entries of
+/// first_visit vectors and friends).
+inline constexpr std::uint64_t kStateSentinel = ~std::uint64_t{0};
+
+// ---- writer ----
+
+/// Accumulates `key=value` lines. Keys must be unique per state block;
+/// values must not contain newlines (the codecs below never produce any).
+class StateWriter {
+ public:
+  void field(std::string_view key, std::string_view value) {
+    text_.append(key);
+    text_.push_back('=');
+    text_.append(value);
+    text_.push_back('\n');
+  }
+
+  void field_u64(std::string_view key, std::uint64_t value) {
+    field(key, std::to_string(value));
+  }
+
+  /// Comma list; kStateSentinel entries encode as '-'.
+  template <typename Int>
+  void field_list(std::string_view key, const std::vector<Int>& values) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      const auto v = static_cast<std::uint64_t>(values[i]);
+      if (v == kStateSentinel) {
+        out.push_back('-');
+      } else {
+        out += std::to_string(v);
+      }
+    }
+    field(key, out);
+  }
+
+  /// Direction string for ring pointer fields: 'c' = 0 (clockwise),
+  /// 'w' = 1 (anticlockwise); matches core/snapshot's encoding.
+  void field_dirs(std::string_view key, const std::vector<std::uint8_t>& dirs) {
+    std::string out(dirs.size(), 'c');
+    for (std::size_t i = 0; i < dirs.size(); ++i) {
+      if (dirs[i] != 0) out[i] = 'w';
+    }
+    field(key, out);
+  }
+
+  /// Bit string ('0'/'1') for per-node boolean state.
+  void field_bits(std::string_view key, const std::vector<std::uint8_t>& bits) {
+    std::string out(bits.size(), '0');
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i] != 0) out[i] = '1';
+    }
+    field(key, out);
+  }
+
+  /// Sparse "index:value" comma list (agent sites, pointer runs).
+  void field_pairs(std::string_view key,
+                   const std::vector<std::pair<std::uint64_t, std::uint64_t>>& pairs) {
+    std::string out;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += std::to_string(pairs[i].first);
+      out.push_back(':');
+      out += std::to_string(pairs[i].second);
+    }
+    field(key, out);
+  }
+
+  const std::string& text() const { return text_; }
+
+ private:
+  std::string text_;
+};
+
+// ---- reader ----
+
+/// Parses `key=value` lines into a lookup table. All accessors are
+/// total: missing keys, malformed numbers, out-of-range entries return
+/// nullopt (never abort — checkpoints are external input).
+class StateReader {
+ public:
+  /// `lines`: the body of a state block (no header). Duplicate keys make
+  /// the block malformed.
+  static std::optional<StateReader> parse(std::string_view body);
+
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+
+  std::optional<std::string_view> raw(std::string_view key) const {
+    const std::string* v = find(key);
+    if (!v) return std::nullopt;
+    return std::string_view(*v);
+  }
+
+  std::optional<std::uint64_t> u64(std::string_view key) const;
+
+  /// Comma list of u64; '-' decodes to kStateSentinel. `expected` > 0
+  /// additionally requires that exact length.
+  std::optional<std::vector<std::uint64_t>> u64_list(std::string_view key,
+                                                     std::size_t expected = 0) const;
+
+  /// Direction string: 'c' -> 0, 'w' -> 1; exact length `expected`.
+  std::optional<std::vector<std::uint8_t>> dirs(std::string_view key,
+                                                std::size_t expected) const {
+    return two_symbol(key, expected, 'c', 'w');
+  }
+
+  /// Bit string: '0' -> 0, '1' -> 1; exact length `expected`.
+  std::optional<std::vector<std::uint8_t>> bits(std::string_view key,
+                                                std::size_t expected) const {
+    return two_symbol(key, expected, '0', '1');
+  }
+
+  /// Sparse "index:value" list, indices strictly increasing.
+  std::optional<std::vector<std::pair<std::uint64_t, std::uint64_t>>> pairs(
+      std::string_view key) const;
+
+ private:
+  std::optional<std::vector<std::uint8_t>> two_symbol(std::string_view key,
+                                                      std::size_t expected,
+                                                      char zero,
+                                                      char one) const {
+    const std::string* raw = find(key);
+    if (!raw || raw->size() != expected) return std::nullopt;
+    std::vector<std::uint8_t> out(raw->size());
+    for (std::size_t i = 0; i < raw->size(); ++i) {
+      if ((*raw)[i] == one) {
+        out[i] = 1;
+      } else if ((*raw)[i] != zero) {
+        return std::nullopt;
+      }
+    }
+    return out;
+  }
+
+  const std::string* find(std::string_view key) const {
+    for (const auto& [k, v] : fields_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// ---- the contract ----
+
+/// Implemented by every engine backend alongside sim::Engine. The engine
+/// must already have the right topology (same graph / ring size) before
+/// deserialize_state is called; the checkpoint layer guarantees this by
+/// rebuilding the graph from the checkpoint's descriptor first.
+class StateIO {
+ public:
+  virtual ~StateIO() = default;
+
+  /// Writes the full dynamical state as named fields.
+  virtual void serialize_state(StateWriter& out) const = 0;
+
+  /// Restores a state written by serialize_state. Returns false (leaving
+  /// the engine in an unspecified but destructible state) on any
+  /// malformed or inconsistent field.
+  [[nodiscard]] virtual bool deserialize_state(const StateReader& in) = 0;
+};
+
+}  // namespace rr::sim

@@ -37,6 +37,46 @@ std::uint64_t GraphRandomWalks::config_hash() const {
   return h.value();
 }
 
+void GraphRandomWalks::serialize_state(sim::StateWriter& out) const {
+  out.field_u64("time", time_);
+  out.field_list("positions", pos_);
+  out.field_list("visits", visits_);
+  out.field_list("first_visit", first_visit_);
+  const auto rng = rng_.save_state();
+  out.field_list("rng",
+                 std::vector<std::uint64_t>(rng.begin(), rng.end()));
+}
+
+bool GraphRandomWalks::deserialize_state(const sim::StateReader& in) {
+  const graph::NodeId n = csr_.num_nodes();
+  const auto time = in.u64("time");
+  const auto positions = in.u64_list("positions");
+  const auto visits = in.u64_list("visits", n);
+  const auto first_visit = in.u64_list("first_visit", n);
+  const auto rng = in.u64_list("rng", 4);
+  if (!time || !positions || positions->empty() || !visits || !first_visit ||
+      !rng) {
+    return false;
+  }
+  for (std::uint64_t p : *positions) {
+    if (p >= n || csr_.degree_unchecked(static_cast<graph::NodeId>(p)) == 0) {
+      return false;
+    }
+  }
+  if (!rng_.restore_state({(*rng)[0], (*rng)[1], (*rng)[2], (*rng)[3]})) {
+    return false;
+  }
+  time_ = *time;
+  pos_.assign(positions->begin(), positions->end());
+  visits_ = *visits;
+  first_visit_ = *first_visit;
+  covered_ = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (first_visit_[v] != kGraphWalkNotCovered) ++covered_;
+  }
+  return true;
+}
+
 CoverEstimate estimate_graph_cover_time(const graph::Graph& g,
                                         const std::vector<graph::NodeId>& starts,
                                         std::uint64_t trials,

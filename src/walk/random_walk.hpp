@@ -22,12 +22,13 @@
 #include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 #include "sim/engine.hpp"
+#include "sim/state_io.hpp"
 
 namespace rr::walk {
 
 inline constexpr std::uint64_t kGraphWalkNotCovered = sim::kNotCovered;
 
-class GraphRandomWalks final : public sim::Engine {
+class GraphRandomWalks final : public sim::Engine, public sim::StateIO {
  public:
   GraphRandomWalks(const graph::Graph& g, std::vector<graph::NodeId> starts,
                    std::uint64_t seed);
@@ -84,6 +85,11 @@ class GraphRandomWalks final : public sim::Engine {
   std::uint64_t config_hash() const override;
 
   const char* engine_name() const override { return "random-walks"; }
+
+  /// Full dynamical state including the xoshiro256** stream words, so a
+  /// resumed stochastic run draws the identical future randomness.
+  void serialize_state(sim::StateWriter& out) const override;
+  [[nodiscard]] bool deserialize_state(const sim::StateReader& in) override;
 
  private:
   void do_step_delayed(const sim::DelayFn& delay) override {

@@ -17,13 +17,16 @@
 // stateful functor would observe engine internals and break lockstep.
 
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "core/initializers.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/engine.hpp"
 
 namespace rr::testing {
@@ -113,6 +116,46 @@ inline Mismatch run_lockstep(sim::Engine& reference, sim::Engine& candidate,
   return run_lockstep_delayed(
       reference, candidate, rounds,
       [](NodeId, std::uint64_t, std::uint32_t) { return 0u; }, deep);
+}
+
+// ---- save → load → continue lane ----
+
+/// The checkpoint gate (sim/checkpoint.hpp): `candidate` steps in lockstep
+/// with `reference`, but at `restart_round` it is serialized through the
+/// engine-generic checkpoint, destroyed, and restored into a fresh
+/// instance, which then continues the run. A resumed engine must be
+/// indistinguishable from an uninterrupted one: every observable is
+/// compared after every round, exactly like run_lockstep_delayed. A failed
+/// write/parse/restore is reported as a mismatch at the restart round.
+inline Mismatch run_lockstep_with_restart(
+    sim::Engine& reference, std::unique_ptr<sim::Engine> candidate,
+    const std::string& graph_descriptor, std::uint64_t rounds,
+    std::uint64_t restart_round, const sim::DelayFn& delay, bool deep = true) {
+  {
+    const Mismatch m = compare_engines(reference, *candidate, deep);
+    if (!m.ok) return m;
+  }
+  for (std::uint64_t t = 0; t < rounds; ++t) {
+    if (t == restart_round) {
+      const std::string text =
+          sim::write_checkpoint(*candidate, graph_descriptor);
+      candidate = sim::restore_checkpoint(text);
+      if (!candidate) {
+        return {false, reference.time(),
+                "checkpoint restore failed for descriptor '" +
+                    graph_descriptor + "'"};
+      }
+      const Mismatch m = compare_engines(reference, *candidate, deep);
+      if (!m.ok) {
+        return {false, m.round, "after restore: " + m.detail};
+      }
+    }
+    reference.step_delayed(delay);
+    candidate->step_delayed(delay);
+    const Mismatch m = compare_engines(reference, *candidate, deep);
+    if (!m.ok) return m;
+  }
+  return {};
 }
 
 // ---- randomized ring scenarios ----

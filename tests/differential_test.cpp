@@ -14,7 +14,9 @@
 #include "core/lazy_ring_rotor_router.hpp"
 #include "core/ring_rotor_router.hpp"
 #include "core/rotor_router.hpp"
+#include "graph/descriptor.hpp"
 #include "graph/generators.hpp"
+#include "walk/random_walk.hpp"
 
 namespace rr::testing {
 namespace {
@@ -133,6 +135,131 @@ TEST(Differential, RunUntilCoveredLandsOnTheSameRound) {
     const Mismatch m = compare_engines(dense, lazy, /*deep=*/false);
     ASSERT_TRUE(m.ok) << "round " << m.round << ": " << m.detail;
     EXPECT_EQ(lazy.time(), lazy_cover);
+  }
+}
+
+// ---- save → load → continue (the checkpoint gate) ----
+
+TEST(Differential, CheckpointRestartRingBackends) {
+  // Every ring backend, checkpointed at a random mid-run round under an
+  // adversarial delayed schedule, must continue bit-identically to the
+  // uninterrupted reference.
+  Rng rng(0xC4C2ULL);
+  for (int config = 0; config < 120; ++config) {
+    const RingScenario sc = RingScenario::random(rng);
+    SCOPED_TRACE(sc.describe());
+    const std::string descriptor = "ring " + std::to_string(sc.n);
+    const std::uint64_t restart =
+        rng.bounded(static_cast<std::uint32_t>(sc.rounds));
+    {
+      core::RingRotorRouter ref(sc.n, sc.agents, sc.pointers);
+      const Mismatch m = run_lockstep_with_restart(
+          ref,
+          std::make_unique<core::RingRotorRouter>(sc.n, sc.agents, sc.pointers),
+          descriptor, sc.rounds, restart, sc.delay());
+      ASSERT_TRUE(m.ok) << "dense, round " << m.round << ": " << m.detail;
+    }
+    {
+      core::RingRotorRouter ref(sc.n, sc.agents, sc.pointers);
+      const Mismatch m = run_lockstep_with_restart(
+          ref,
+          std::make_unique<core::LazyRingRotorRouter>(sc.n, sc.agents,
+                                                      sc.pointers),
+          descriptor, sc.rounds, restart, sc.delay());
+      ASSERT_TRUE(m.ok) << "lazy, round " << m.round << ": " << m.detail;
+    }
+    {
+      graph::Graph g = graph::ring(sc.n);
+      core::RingRotorRouter ref(sc.n, sc.agents, sc.pointers);
+      const Mismatch m = run_lockstep_with_restart(
+          ref, std::make_unique<core::RotorRouter>(g, sc.agents, sc.pointers32()),
+          descriptor, sc.rounds, restart, sc.delay());
+      ASSERT_TRUE(m.ok) << "general, round " << m.round << ": " << m.detail;
+    }
+  }
+}
+
+TEST(Differential, CheckpointRestartAfterForcedLazyPromotion) {
+  // A checkpoint of the *promoted* sparse-run representation (forced
+  // mid-transient, pile-ups included) must restore exactly.
+  Rng rng(0xF0CE2ULL);
+  for (int config = 0; config < 80; ++config) {
+    const RingScenario sc = RingScenario::random(rng);
+    SCOPED_TRACE(sc.describe());
+    const sim::DelayFn delay = sc.delay();
+    core::RingRotorRouter ref(sc.n, sc.agents, sc.pointers);
+    auto lazy = std::make_unique<core::LazyRingRotorRouter>(sc.n, sc.agents,
+                                                            sc.pointers);
+    const std::uint64_t warmup =
+        rng.bounded(static_cast<std::uint32_t>(sc.rounds));
+    const Mismatch before = run_lockstep_delayed(ref, *lazy, warmup, delay);
+    ASSERT_TRUE(before.ok) << "round " << before.round << ": " << before.detail;
+    ASSERT_TRUE(lazy->try_promote(/*force=*/true));
+    ASSERT_TRUE(lazy->lazy());
+    const Mismatch after = run_lockstep_with_restart(
+        ref, std::move(lazy), "ring " + std::to_string(sc.n),
+        sc.rounds - warmup,
+        rng.bounded(static_cast<std::uint32_t>(sc.rounds - warmup)), delay);
+    ASSERT_TRUE(after.ok) << "round " << after.round << ": " << after.detail;
+  }
+}
+
+TEST(Differential, CheckpointRestartGeneralGraphs) {
+  // Torus / hypercube / random-regular rotor-routers: the uninterrupted
+  // twin is the reference (both are deterministic and identically
+  // initialized, so any divergence is the checkpoint's fault).
+  Rng rng(0x70125ULL);
+  const char* descriptors[] = {"torus 6 6", "torus 5 9", "grid 7 5",
+                               "hypercube 5", "clique 9",
+                               "random-regular 48 4 11"};
+  for (const char* descriptor : descriptors) {
+    for (int trial = 0; trial < 8; ++trial) {
+      SCOPED_TRACE(::testing::Message() << descriptor << " trial " << trial);
+      const auto g = graph::graph_from_descriptor(descriptor);
+      ASSERT_TRUE(g.has_value());
+      const std::uint32_t k = 1 + rng.bounded(6);
+      std::vector<NodeId> agents(k);
+      for (auto& a : agents) a = rng.bounded(g->num_nodes());
+      const std::uint64_t rounds = 24 + rng.bounded(3 * g->num_nodes());
+      const std::uint64_t restart =
+          rng.bounded(static_cast<std::uint32_t>(rounds));
+      const RingScenario delays{.delay_kind = static_cast<int>(rng.bounded(4)),
+                                .delay_seed = rng()};
+      core::RotorRouter ref(*g, agents);
+      const Mismatch m = run_lockstep_with_restart(
+          ref, std::make_unique<core::RotorRouter>(*g, agents), descriptor,
+          rounds, restart, delays.delay());
+      ASSERT_TRUE(m.ok) << "round " << m.round << ": " << m.detail;
+    }
+  }
+}
+
+TEST(Differential, CheckpointRestartRandomWalks) {
+  // The stochastic backend: restoring must also resume the RNG stream, so
+  // the resumed engine keeps drawing the uninterrupted twin's randomness.
+  Rng rng(0x3A1C5ULL);
+  const char* descriptors[] = {"ring 40", "torus 6 6", "clique 12",
+                               "erdos-renyi 36 0.2 5"};
+  for (const char* descriptor : descriptors) {
+    for (int trial = 0; trial < 6; ++trial) {
+      SCOPED_TRACE(::testing::Message() << descriptor << " trial " << trial);
+      const auto g = graph::graph_from_descriptor(descriptor);
+      ASSERT_TRUE(g.has_value());
+      const std::uint32_t k = 1 + rng.bounded(5);
+      std::vector<NodeId> agents(k);
+      for (auto& a : agents) a = rng.bounded(g->num_nodes());
+      const std::uint64_t seed = rng();
+      const std::uint64_t rounds = 24 + rng.bounded(200);
+      const std::uint64_t restart =
+          rng.bounded(static_cast<std::uint32_t>(rounds));
+      const RingScenario delays{.delay_kind = static_cast<int>(rng.bounded(4)),
+                                .delay_seed = rng()};
+      walk::GraphRandomWalks ref(*g, agents, seed);
+      const Mismatch m = run_lockstep_with_restart(
+          ref, std::make_unique<walk::GraphRandomWalks>(*g, agents, seed),
+          descriptor, rounds, restart, delays.delay());
+      ASSERT_TRUE(m.ok) << "round " << m.round << ": " << m.detail;
+    }
   }
 }
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and flag throughput regressions.
+
+Used by CI to diff the current commit's bench_perf.json against the
+previous commit's uploaded artifact: any benchmark whose median
+items_per_second (agent-steps/s) dropped by at least --threshold emits a
+GitHub Actions ::warning:: annotation. Exit code is always 0 — the diff
+annotates, it does not gate (hot-loop noise on shared runners would make
+a hard gate flaky); a human decides whether a flagged drop is real.
+
+Usage: bench_diff.py previous.json current.json [--threshold 0.10]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def median_throughput(path):
+    """name -> median items_per_second over that benchmark's entries."""
+    with open(path) as f:
+        data = json.load(f)
+    samples = {}
+    for bench in data.get("benchmarks", []):
+        # Skip explicit aggregate rows (mean/median/stddev of repetitions);
+        # we fold repetitions ourselves so both shapes are handled.
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = bench.get("items_per_second")
+        if rate is None:
+            continue
+        samples.setdefault(bench["name"], []).append(rate)
+    return {name: statistics.median(rates) for name, rates in samples.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative drop that counts as a regression")
+    args = parser.parse_args()
+
+    try:
+        prev = median_throughput(args.previous)
+        curr = median_throughput(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"::notice::bench diff skipped (unreadable input: {e})")
+        return 0
+
+    regressions = []
+    for name in sorted(curr):
+        if name not in prev or prev[name] <= 0:
+            continue
+        ratio = curr[name] / prev[name]
+        marker = ""
+        if ratio <= 1.0 - args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, prev[name], curr[name], ratio))
+        print(f"{name}: {prev[name]:.3e} -> {curr[name]:.3e} "
+              f"({(ratio - 1.0) * 100.0:+.1f}%){marker}")
+
+    for name, p, c, ratio in regressions:
+        print(f"::warning title=bench regression::{name} throughput fell "
+              f"{(1.0 - ratio) * 100.0:.1f}% vs previous commit "
+              f"({p:.3e} -> {c:.3e} items/s)")
+    if regressions:
+        print(f"::notice::{len(regressions)} benchmark(s) regressed >= "
+              f"{args.threshold * 100.0:.0f}%; see warnings")
+    else:
+        print("::notice::no benchmark regressed beyond "
+              f"{args.threshold * 100.0:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
