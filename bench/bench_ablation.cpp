@@ -17,8 +17,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/experiment.hpp"
-#include "analysis/parallel.hpp"
+#include "sim/runner.hpp"
 #include "analysis/table.hpp"
 #include "common/rng.hpp"
 #include "core/cover_time.hpp"
@@ -72,15 +71,15 @@ class FullScanRing {
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Ablations of DESIGN.md §5 decisions",
       "occupied-list engine, windowed return time, batched walk bits");
 
   // --- A: occupied-list vs full scan. ---
   {
-    const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(1 << 16));
+    const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(1 << 16));
     const std::uint32_t k = 16;
-    const std::uint64_t rounds = rr::analysis::scaled(20000, 2000);
+    const std::uint64_t rounds = rr::sim::scaled(20000, 2000);
     const auto agents = rr::core::place_equally_spaced(n, k);
     const auto ptrs = rr::core::pointers_negative(n, agents);
 
@@ -145,9 +144,9 @@ int main() {
 
   // --- C: batched bits vs per-step RNG draw. ---
   {
-    const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(1 << 14));
+    const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(1 << 14));
     const std::uint32_t k = 32;
-    const std::uint64_t rounds = rr::analysis::scaled(200000, 10000);
+    const std::uint64_t rounds = rr::sim::scaled(200000, 10000);
     std::vector<NodeId> starts = rr::core::place_equally_spaced(n, k);
 
     rr::walk::RingRandomWalks batched(n, starts, 7);

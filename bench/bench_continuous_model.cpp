@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/fit.hpp"
 #include "analysis/ode.hpp"
 #include "analysis/table.hpp"
@@ -30,11 +30,11 @@ using rr::core::NodeId;
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Continuous-time approximation vs discrete rotor-router",
       "Sec. 2.3: sqrt(t) growth, flat stationary profile, cover-time order");
 
-  const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(2048));
+  const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(2048));
   const std::uint32_t k = 8;
 
   // --- (1) Growth exponent of the covered region, discrete vs ODE. ---

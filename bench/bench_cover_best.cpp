@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/fit.hpp"
 #include "analysis/table.hpp"
 #include "common/rng.hpp"
@@ -30,11 +30,11 @@ double cover_spaced(NodeId n, std::uint32_t k, std::vector<std::uint8_t> ptrs) {
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Best-placement cover time of the k-agent rotor-router",
       "Thms 3-4: Theta((n/k)^2) for equally spaced agents");
 
-  const auto base_n = static_cast<NodeId>(rr::analysis::scaled_pow2(1024));
+  const auto base_n = static_cast<NodeId>(rr::sim::scaled_pow2(1024));
 
   // --- Fixed n/k, growing n: cover should stay ~ constant = Theta((n/k)^2).
   {

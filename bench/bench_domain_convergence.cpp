@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/table.hpp"
 #include "common/rng.hpp"
 #include "core/domains.hpp"
@@ -52,11 +52,11 @@ void track(const char* name, rr::core::RingRotorRouter rr, std::uint32_t k) {
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Domain convergence on the ring",
       "Lemma 12 (adjacent sizes differ by <= 10 in the limit), Lemma 8");
 
-  const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(1024));
+  const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(1024));
   const std::uint32_t k = 8;
   rr::Rng rng(99);
 

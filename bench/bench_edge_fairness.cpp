@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/table.hpp"
 #include "core/rotor_router.hpp"
 #include "graph/generators.hpp"
@@ -45,7 +45,7 @@ Fairness arc_fairness(const rr::core::RotorRouter& rr) {
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Edge-usage fairness of the multi-agent rotor-router",
       "Yanovski et al. [27] via the Sec. 1.3 arc-traversal identity");
 
@@ -62,7 +62,7 @@ int main() {
   topologies.push_back({"random_3_regular(100)",
                         rr::graph::random_regular(100, 3, 17)});
 
-  const std::uint64_t horizon_multiplier = rr::analysis::scaled(400, 50);
+  const std::uint64_t horizon_multiplier = rr::sim::scaled(400, 50);
 
   for (std::uint32_t k : {1u, 4u, 16u}) {
     Table t({"topology (k=" + std::to_string(k) + ")", "rounds",

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/table.hpp"
 #include "core/cover_time.hpp"
 #include "core/limit_cycle.hpp"
@@ -24,7 +24,7 @@ using rr::graph::Graph;
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Eulerian lock-in and multi-agent monotonicity on general graphs",
       "Yanovski et al. [27], Bampas et al. [6]; Lemma 1");
 
@@ -32,7 +32,7 @@ int main() {
     std::string name;
     Graph g;
   };
-  const rr::graph::NodeId m = rr::analysis::bench_scale() >= 2 ? 2 : 1;
+  const rr::graph::NodeId m = rr::sim::bench_scale() >= 2 ? 2 : 1;
   const rr::graph::NodeId dim = 8 * m;
   std::vector<Topo> topologies;
   topologies.push_back({"ring(" + std::to_string(64 * m) + ")",

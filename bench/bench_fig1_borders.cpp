@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <string>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/table.hpp"
 #include "core/domains.hpp"
 #include "core/initializers.hpp"
@@ -44,11 +44,11 @@ void render_border(const rr::core::RingRotorRouter& rr,
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Border types between adjacent lazy domains",
       "Figure 1: (a) vertex-type, (b) edge-type borders");
 
-  const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(512));
+  const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(512));
   const std::uint32_t k = 8;
   const auto agents = rr::core::place_equally_spaced(n, k);
   rr::core::RingRotorRouter rr(n, agents,

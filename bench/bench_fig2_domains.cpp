@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/fit.hpp"
 #include "analysis/sequence.hpp"
 #include "analysis/stats.hpp"
@@ -30,11 +30,11 @@ using rr::core::NodeId;
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Domain-size profile during worst-case exploration",
       "Figure 2, Lemma 13, Sec. 2.3 (continuous-time approximation)");
 
-  const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(4096));
+  const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(4096));
   const std::uint32_t k = 16;
   rr::core::RingRotorRouter rr(n, rr::core::place_all_on_one(k, 0),
                                rr::core::pointers_toward(n, 0));

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/histogram.hpp"
 #include "analysis/table.hpp"
 #include "core/initializers.hpp"
@@ -26,14 +26,14 @@ using rr::core::NodeId;
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Inter-visit gap distributions: deterministic vs randomized",
       "Thm 6 vs Sec. 4's high-variance remark for k random walks");
 
-  const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(512));
+  const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(512));
   const std::uint32_t k = 8;
   const double gap_unit = static_cast<double>(n) / k;
-  const std::uint64_t window = rr::analysis::scaled(4000) * n / k;
+  const std::uint64_t window = rr::sim::scaled(4000) * n / k;
 
   // --- Rotor-router gaps. ---
   Histogram rotor_hist(0.0, 6.0 * gap_unit, 24);

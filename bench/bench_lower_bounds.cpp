@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/table.hpp"
 #include "common/rng.hpp"
 #include "core/cover_time.hpp"
@@ -29,11 +29,11 @@ using rr::core::RingConfig;
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Adversarial lower bounds for the rotor-router",
       "Thm 4 (Omega((n/k)^2) for any placement) and Lemma 15 (remote vertices)");
 
-  const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(4096));
+  const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(4096));
   const std::uint32_t k = 8;
   rr::Rng rng(2718);
 

@@ -10,11 +10,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/experiment.hpp"
 #include "analysis/fit.hpp"
-#include "analysis/parallel.hpp"
-#include "analysis/table.hpp"
 #include "sim/runner.hpp"
+#include "analysis/table.hpp"
 #include "core/initializers.hpp"
 #include "walk/ring_walk.hpp"
 
@@ -26,7 +24,7 @@ using rr::walk::NodeId;
 
 RunningStats cover_stats(NodeId n, const std::vector<NodeId>& starts,
                          std::uint64_t trials, std::uint64_t seed) {
-  return rr::analysis::parallel_stats(trials, [&](std::uint64_t i) {
+  return rr::sim::Runner().stats(trials, [&](std::uint64_t i) {
     rr::walk::RingRandomWalks w(n, starts, rr::sim::derive_seed(seed, i));
     return static_cast<double>(w.run_until_covered(~0ULL / 2));
   });
@@ -35,12 +33,12 @@ RunningStats cover_stats(NodeId n, const std::vector<NodeId>& starts,
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "k parallel random walks on the ring: cover & return",
       "Table 1 row 2; Thm 5 and refs [2],[4]");
 
-  const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(1024));
-  const std::uint64_t trials = rr::analysis::scaled(24, 8);
+  const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(1024));
+  const std::uint64_t trials = rr::sim::scaled(24, 8);
 
   // --- Worst placement: all on one node. ---
   {

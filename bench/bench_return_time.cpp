@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/table.hpp"
 #include "common/rng.hpp"
 #include "core/cover_time.hpp"
@@ -25,11 +25,11 @@ using rr::core::RingConfig;
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Return time of the k-agent rotor-router on the ring",
       "Thm 6: every node visited every Theta(n/k) rounds in the limit");
 
-  const auto n = static_cast<NodeId>(rr::analysis::scaled_pow2(2048));
+  const auto n = static_cast<NodeId>(rr::sim::scaled_pow2(2048));
 
   // --- Sweep k, two different initializations. ---
   {

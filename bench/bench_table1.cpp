@@ -7,10 +7,8 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/experiment.hpp"
-#include "analysis/parallel.hpp"
-#include "analysis/table.hpp"
 #include "sim/runner.hpp"
+#include "analysis/table.hpp"
 #include "core/cover_time.hpp"
 #include "core/initializers.hpp"
 #include "walk/ring_walk.hpp"
@@ -21,7 +19,7 @@ using rr::analysis::Table;
 
 double walk_cover_mean(rr::core::NodeId n, const std::vector<rr::core::NodeId>& starts,
                        std::uint64_t trials, std::uint64_t seed) {
-  auto stats = rr::analysis::parallel_stats(trials, [&](std::uint64_t i) {
+  auto stats = rr::sim::Runner().stats(trials, [&](std::uint64_t i) {
     rr::walk::RingRandomWalks walks(n, starts, rr::sim::derive_seed(seed, i));
     return static_cast<double>(walks.run_until_covered(~0ULL / 2));
   });
@@ -31,14 +29,14 @@ double walk_cover_mean(rr::core::NodeId n, const std::vector<rr::core::NodeId>& 
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Table 1 — cover & return time of the multi-agent rotor-router vs k "
       "random walks on the ring",
       "Klasing et al., Table 1 (Thms 1-6)");
 
-  const auto n = static_cast<rr::core::NodeId>(rr::analysis::scaled_pow2(1024));
+  const auto n = static_cast<rr::core::NodeId>(rr::sim::scaled_pow2(1024));
   const std::uint32_t k = 16;
-  const std::uint64_t trials = rr::analysis::scaled(12, 4);
+  const std::uint64_t trials = rr::sim::scaled(12, 4);
   const double log2k = std::log2(static_cast<double>(k));
   const double lnk = std::log(static_cast<double>(k));
   std::printf("Instance: n=%u, k=%u, %llu random-walk trials per cell\n\n", n,

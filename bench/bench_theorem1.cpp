@@ -5,7 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/table.hpp"
 #include "core/cover_time.hpp"
 #include "core/theorem1_deployment.hpp"
@@ -19,11 +19,11 @@ using rr::graph::NodeId;
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Theorem 1's delayed deployment, executed",
       "Phases A/B1/B2 with desirable configurations; Lemma 3 sandwich");
 
-  const auto base_n = static_cast<NodeId>(rr::analysis::scaled_pow2(512));
+  const auto base_n = static_cast<NodeId>(rr::sim::scaled_pow2(512));
   const std::uint32_t k = 8;
 
   Table t({"n", "phase A", "B1 (tau)", "B2", "total (T)",

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "analysis/experiment.hpp"
+#include "sim/runner.hpp"
 #include "analysis/table.hpp"
 #include "analysis/token_game.hpp"
 
@@ -21,12 +21,12 @@ using rr::analysis::Table;
 }  // namespace
 
 int main() {
-  rr::analysis::print_bench_header(
+  rr::sim::print_bench_header(
       "Token game of Lemma 8",
       "invariant: min stack >= eta - 5k + 5 after any legal play");
 
-  const std::uint64_t moves = rr::analysis::scaled(200000, 1000);
-  const std::uint64_t seeds = rr::analysis::scaled(8, 2);
+  const std::uint64_t moves = rr::sim::scaled(200000, 1000);
+  const std::uint64_t seeds = rr::sim::scaled(8, 2);
 
   Table t({"k", "eta", "bound eta-5k+5", "adversarial min", "random-play min",
            "adversarial margin"});

@@ -6,6 +6,7 @@
 //   rr_cli trace   --topo torus --size 12 --k 4 --rounds 200 --stride 20   2-D space-time blocks
 //   rr_cli run     --topo torus --size 16 --k 8 --rounds 400 --checkpoint state.ckpt
 //   rr_cli run     --resume state.ckpt --rounds 400 [--checkpoint state.ckpt]
+//   rr_cli run     --topo torus --size 256 --k 64 --shards 8 --rounds 4000
 //   rr_cli config  "ring n=12 agents=0,6 pointers=cccccccccccc" [--rounds R]
 //   rr_cli lockin  --topo ring|grid|torus|clique|hypercube|tree --size 64
 //
@@ -13,6 +14,10 @@
 // (--topo/--size sugar or a raw --graph "torus 16 16" descriptor) through
 // the engine-generic checkpoint layer: --checkpoint serializes the full
 // state after the run, --resume restores one and continues bit-exactly.
+// --shards N steps the rotor engine shard-parallel (bit-equal to
+// sequential; also applies when resuming a rotor-router checkpoint), and
+// --checkpoint-every N rewrites --checkpoint atomically every N rounds
+// while the run is in flight (crash-tolerant sweeps).
 //
 // Exit code 0 on success, 2 on usage errors (so scripts can distinguish).
 
@@ -29,6 +34,7 @@
 #include "core/lazy_ring_rotor_router.hpp"
 #include "core/limit_cycle.hpp"
 #include "core/rotor_router.hpp"
+#include "core/sharded_rotor_router.hpp"
 #include "core/snapshot.hpp"
 #include "core/trace.hpp"
 #include "graph/descriptor.hpp"
@@ -54,6 +60,8 @@ struct Flags {
   std::string graph;       // raw descriptor; overrides --topo/--size
   std::string checkpoint;  // write the engine state here after the run
   std::string resume;      // restore the engine state from here first
+  std::uint32_t shards = 1;          // > 1: shard-parallel rotor stepping
+  std::uint64_t checkpoint_every = 0;  // auto-checkpoint period (rounds)
 };
 
 int usage() {
@@ -65,7 +73,8 @@ int usage() {
                " [--topo ... --size N | --graph DESC]\n"
                "  run: --engine rotor|ring|lazy|walks --rounds R"
                " [--topo ... --size N | --graph DESC]\n"
-               "       --checkpoint FILE --resume FILE\n"
+               "       --checkpoint FILE --resume FILE"
+               " --checkpoint-every N --shards N\n"
                "  lockin: --topo ring|grid|torus|clique|hypercube|tree"
                " --size N\n");
   return 2;
@@ -131,6 +140,15 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       const char* v = next("--checkpoint");
       if (!v) return false;
       f.checkpoint = v;
+    } else if (a == "--checkpoint-every") {
+      const char* v = next("--checkpoint-every");
+      if (!v) return false;
+      f.checkpoint_every = std::strtoull(v, nullptr, 10);
+    } else if (a == "--shards") {
+      const char* v = next("--shards");
+      if (!v) return false;
+      f.shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (f.shards == 0) f.shards = 1;
     } else if (a == "--resume") {
       const char* v = next("--resume");
       if (!v) return false;
@@ -223,7 +241,17 @@ std::unique_ptr<rr::sim::Engine> build_engine(const Flags& f,
     return nullptr;
   }
   const auto agents = spread_agents(n, f.k);
+  if (f.shards > 1 && f.engine != "rotor") {
+    std::fprintf(stderr,
+                 "rr_cli: --shards only applies to --engine rotor; "
+                 "stepping %s sequentially\n",
+                 f.engine.c_str());
+  }
   if (f.engine == "rotor") {
+    if (f.shards > 1) {
+      return std::make_unique<rr::core::ShardedRotorRouter>(
+          *g, agents, std::vector<std::uint32_t>{}, f.shards);
+    }
     return std::make_unique<rr::core::RotorRouter>(*g, agents);
   }
   if (f.engine == "walks") {
@@ -254,7 +282,15 @@ int cmd_run(const Flags& f) {
       return 2;
     }
     const auto parsed = rr::sim::parse_checkpoint(*text);
-    if (parsed) engine = rr::sim::restore_checkpoint(*parsed);
+    if (parsed) {
+      if (f.shards > 1 && parsed->engine != "rotor-router") {
+        std::fprintf(stderr,
+                     "rr_cli: --shards only applies to rotor-router "
+                     "checkpoints; resuming %s sequentially\n",
+                     parsed->engine.c_str());
+      }
+      engine = rr::sim::restore_checkpoint_sharded(*parsed, f.shards);
+    }
     if (!engine) {
       std::fprintf(stderr, "rr_cli: malformed checkpoint %s\n",
                    f.resume.c_str());
@@ -269,6 +305,15 @@ int cmd_run(const Flags& f) {
     engine = build_engine(f, descriptor);
     if (!engine) return 2;
   }
+  if (f.checkpoint_every > 0) {
+    if (f.checkpoint.empty()) {
+      std::fprintf(stderr, "rr_cli: --checkpoint-every needs --checkpoint\n");
+      return 2;
+    }
+    engine->set_auto_checkpoint(
+        f.checkpoint_every,
+        rr::sim::checkpoint_file_sink(f.checkpoint, descriptor));
+  }
   const std::uint64_t rounds = f.rounds ? f.rounds : engine->num_nodes();
   engine->run(rounds);
   std::printf("engine=%s graph='%s' t=%llu covered=%u/%u hash=%016llx\n",
@@ -278,7 +323,9 @@ int cmd_run(const Flags& f) {
               static_cast<unsigned long long>(engine->config_hash()));
   if (!f.checkpoint.empty()) {
     const std::string text = rr::sim::write_checkpoint(*engine, descriptor);
-    if (!rr::sim::save_checkpoint_file(f.checkpoint, text)) {
+    // Atomic like the auto-checkpoint sink: a crash mid-write must not
+    // destroy the last good checkpoint at the same path.
+    if (!rr::sim::save_checkpoint_file_atomic(f.checkpoint, text)) {
       std::fprintf(stderr, "rr_cli: cannot write %s\n", f.checkpoint.c_str());
       return 2;
     }

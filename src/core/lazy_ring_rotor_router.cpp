@@ -381,19 +381,26 @@ void LazyRingRotorRouter::run(std::uint64_t rounds) {
       maybe_promote();
       if (dense_) {
         dense_->step();
+        fire_auto_checkpoint_if_due();
         continue;
       }
     }
     if (!leap_eligible()) {
       step();
+      fire_auto_checkpoint_if_due();
       continue;
     }
-    const std::uint64_t w = std::min(safe_window(), target - time_);
+    // Leaps stop at the next auto-checkpoint mark so the sink fires on
+    // the exact schedule even when thousands of rounds pass per leap.
+    const std::uint64_t w = std::min(
+        {safe_window(), target - time_, rounds_to_auto_checkpoint()});
     if (w == 0) {
       step();
+      fire_auto_checkpoint_if_due();
       continue;
     }
     leap_window(w);
+    fire_auto_checkpoint_if_due();
   }
 }
 
@@ -404,19 +411,23 @@ std::uint64_t LazyRingRotorRouter::run_until_covered(std::uint64_t max_rounds) {
       maybe_promote();
       if (dense_) {
         dense_->step();
+        fire_auto_checkpoint_if_due();
         if (all_covered()) return time();
         continue;
       }
     }
     if (!leap_eligible()) {
       step();
+      fire_auto_checkpoint_if_due();
       if (covered_ == n_) return time_;
       continue;
     }
-    std::uint64_t leap =
-        std::min({safe_window(), min_segment(), max_rounds - time_});
+    std::uint64_t leap = std::min({safe_window(), min_segment(),
+                                   max_rounds - time_,
+                                   rounds_to_auto_checkpoint()});
     if (leap == 0) {
       step();
+      fire_auto_checkpoint_if_due();
       if (covered_ == n_) return time_;
       continue;
     }
@@ -426,6 +437,7 @@ std::uint64_t LazyRingRotorRouter::run_until_covered(std::uint64_t max_rounds) {
     const std::uint64_t cover = linear_cover_round(leap);
     if (cover > 0) leap = cover - time_;
     leap_window(leap);
+    fire_auto_checkpoint_if_due();
     if (covered_ == n_) return time_;
   }
   return sim::kNotCovered;

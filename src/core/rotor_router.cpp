@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/hash.hpp"
+#include "core/rotor_state_io.hpp"
 
 namespace rr::core {
 
@@ -10,58 +10,33 @@ RotorRouter::RotorRouter(const Graph& g, const std::vector<NodeId>& agents,
                          std::vector<std::uint32_t> pointers)
     : csr_(g),
       num_agents_(static_cast<std::uint32_t>(agents.size())),
-      counts_(g.num_nodes(), 0),
-      arrivals_(g.num_nodes(), 0),
-      visits_(g.num_nodes(), 0),
-      exits_(g.num_nodes(), 0),
-      first_visit_(g.num_nodes(), kNotCovered),
-      last_visit_(g.num_nodes(), 0) {
-  RR_REQUIRE(!agents.empty(), "at least one agent required");
-  RR_REQUIRE(g.is_connected(), "rotor-router requires a connected graph");
-  if (pointers.empty()) {
-    pointers_.assign(g.num_nodes(), 0);
-  } else {
-    RR_REQUIRE(pointers.size() == g.num_nodes(), "pointer vector size mismatch");
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      RR_REQUIRE(pointers[v] < g.degree(v), "pointer out of range");
-    }
-    pointers_ = std::move(pointers);
-  }
-  initial_pointers_ = pointers_;
-  for (NodeId v : agents) {
-    RR_REQUIRE(v < g.num_nodes(), "agent start node out of range");
-    if (counts_[v] == 0) occupied_.push_back(v);
-    ++counts_[v];
-    ++visits_[v];  // n_v(0) counts initially placed agents
-  }
-  for (NodeId v : occupied_) {
-    first_visit_[v] = 0;
-    ++covered_;
-  }
+      node_(g.num_nodes()),
+      stats_(g.num_nodes()) {
+  covered_ = init_rotor_nodes(g, csr_, agents, pointers, node_,
+                              initial_pointers_, stats_,
+                              [&](NodeId v) { occupied_.push_back(v); });
 }
 
 void RotorRouter::commit_arrivals() {
   // Drop stale entries (nodes fully vacated this round) and add newly
-  // occupied nodes; `counts_ > 0` is the membership invariant, so the
+  // occupied nodes; `count > 0` is the membership invariant, so the
   // occupied list never outgrows the set of nodes hosting agents (delayed
   // deployments included).
   std::size_t w = 0;
   for (std::size_t i = 0; i < occupied_.size(); ++i) {
-    if (counts_[occupied_[i]] > 0) occupied_[w++] = occupied_[i];
+    if (node_[occupied_[i]].count > 0) occupied_[w++] = occupied_[i];
   }
   occupied_.resize(w);
-  for (NodeId u : touched_) {
-    const std::uint32_t a = arrivals_[u];
+  const std::size_t touched_n = touched_.size();
+  for (std::size_t i = 0; i < touched_n; ++i) {
+    if (i + 4 < touched_n) prefetch_ro(&stats_[touched_[i + 4]]);
+    const NodeId u = touched_[i];
+    graph::NodeState& nu = node_[u];
+    const std::uint32_t a = nu.arrivals;
     if (a == 0) continue;  // duplicate touch already committed
-    arrivals_[u] = 0;
-    if (counts_[u] == 0) occupied_.push_back(u);
-    counts_[u] += a;
-    visits_[u] += a;
-    last_visit_[u] = time_;
-    if (first_visit_[u] == kNotCovered) {
-      first_visit_[u] = time_;
-      ++covered_;
-    }
+    nu.arrivals = 0;
+    if (nu.count == 0) occupied_.push_back(u);
+    if (commit_node_arrival(nu, stats_[u], time_, a)) ++covered_;
   }
   touched_.clear();
 }
@@ -70,80 +45,28 @@ std::vector<NodeId> RotorRouter::agent_positions() const {
   std::vector<NodeId> pos;
   pos.reserve(num_agents_);
   for (NodeId v : occupied_) {
-    for (std::uint32_t i = 0; i < counts_[v]; ++i) pos.push_back(v);
+    for (std::uint32_t i = 0; i < node_[v].count; ++i) pos.push_back(v);
   }
   std::sort(pos.begin(), pos.end());
   return pos;
 }
 
 std::uint64_t RotorRouter::config_hash() const {
-  Fnv1a h;
-  for (NodeId v = 0; v < csr_.num_nodes(); ++v) {
-    h.mix(pointers_[v]);
-    h.mix(counts_[v]);
-  }
-  return h.value();
+  return rotor_config_hash(node_);
 }
 
 void RotorRouter::serialize_state(sim::StateWriter& out) const {
-  const NodeId n = csr_.num_nodes();
-  out.field_u64("time", time_);
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> sites;
-  for (NodeId v = 0; v < n; ++v) {
-    if (counts_[v] > 0) sites.emplace_back(v, counts_[v]);
-  }
-  out.field_pairs("agents", sites);
-  out.field_list("pointers", pointers_);
-  out.field_list("initial_pointers", initial_pointers_);
-  out.field_list("visits", visits_);
-  out.field_list("exits", exits_);
-  out.field_list("first_visit", first_visit_);
-  out.field_list("last_visit", last_visit_);
+  serialize_rotor_state(out, time_, node_, initial_pointers_, stats_);
 }
 
 bool RotorRouter::deserialize_state(const sim::StateReader& in) {
-  const NodeId n = csr_.num_nodes();
-  const auto time = in.u64("time");
-  const auto sites = in.pairs("agents");
-  const auto pointers = in.u64_list("pointers", n);
-  const auto initial = in.u64_list("initial_pointers", n);
-  const auto visits = in.u64_list("visits", n);
-  const auto exits = in.u64_list("exits", n);
-  const auto first_visit = in.u64_list("first_visit", n);
-  const auto last_visit = in.u64_list("last_visit", n);
-  if (!time || !sites || sites->empty() || !pointers || !initial || !visits ||
-      !exits || !first_visit || !last_visit) {
-    return false;
-  }
-  for (NodeId v = 0; v < n; ++v) {
-    if ((*pointers)[v] >= csr_.degree_unchecked(v)) return false;
-    if ((*initial)[v] >= csr_.degree_unchecked(v)) return false;
-  }
-  std::uint64_t total_agents = 0;
-  for (const auto& [v, c] : *sites) {
-    if (v >= n || c == 0 || c > ~std::uint32_t{0}) return false;
-    total_agents += c;
-  }
-  if (total_agents > ~std::uint32_t{0}) return false;
-
-  time_ = *time;
-  num_agents_ = static_cast<std::uint32_t>(total_agents);
-  counts_.assign(n, 0);
-  occupied_.clear();
-  for (const auto& [v, c] : *sites) {
-    counts_[v] = static_cast<std::uint32_t>(c);
-    occupied_.push_back(static_cast<NodeId>(v));
-  }
-  pointers_.assign(pointers->begin(), pointers->end());
-  initial_pointers_.assign(initial->begin(), initial->end());
-  visits_ = *visits;
-  exits_ = *exits;
-  first_visit_ = *first_visit;
-  last_visit_ = *last_visit;
-  covered_ = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    if (first_visit_[v] != kNotCovered) ++covered_;
-  }
+  const auto restored =
+      deserialize_rotor_state(in, csr_, node_, initial_pointers_, stats_);
+  if (!restored) return false;
+  time_ = restored->time;
+  num_agents_ = restored->num_agents;
+  covered_ = restored->covered;
+  occupied_ = restored->sites;
   return true;
 }
 

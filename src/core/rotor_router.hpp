@@ -13,6 +13,10 @@
 // The engine snapshots the graph's port-ordered adjacency into a CsrGraph
 // at construction, so the stepping loops scan flat arrays instead of
 // chasing nested vectors; permute ports on the Graph before constructing.
+// The per-node hot state lives in one packed graph::NodeState stride
+// (count, pointer, degree) and the visit bookkeeping in one VisitStats
+// stride — the round is memory-latency-bound on scattered nodes, so each
+// agent exit gathers two cache lines instead of six parallel-array ones.
 //
 // The engine also maintains the bookkeeping used throughout the paper's
 // analysis: n_v(t) (visits including the initial placement, Eq. (3)),
@@ -25,8 +29,10 @@
 #include <vector>
 
 #include "common/require.hpp"
+#include "core/shard_step.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
+#include "graph/partition.hpp"
 #include "sim/engine.hpp"
 #include "sim/state_io.hpp"
 
@@ -58,28 +64,28 @@ class RotorRouter final : public sim::Engine, public sim::StateIO {
   template <typename DelayFn>
   void step_delayed(DelayFn&& delay) {
     ++time_;
+    const NodeId* arcs = csr_.arcs();
     const std::size_t occupied_before = occupied_.size();
     for (std::size_t idx = 0; idx < occupied_before; ++idx) {
+      if (idx + 4 < occupied_before) prefetch_ro(&node_[occupied_[idx + 4]]);
       const NodeId v = occupied_[idx];
-      const std::uint32_t present = counts_[v];
+      graph::NodeState& ns = node_[v];
+      const std::uint32_t present = ns.count;
       if (present == 0) continue;  // stale entry; skipped and dropped below
       std::uint32_t held = delay(v, time_, present);
       if (held > present) held = present;
       const std::uint32_t moving = present - held;
       if (moving == 0) continue;
-      const std::uint32_t deg = csr_.degree_unchecked(v);
-      RR_ASSERT(deg > 0, "agent stranded on isolated node");
-      const NodeId* row = csr_.row(v);
-      std::uint32_t ptr = pointers_[v];
-      for (std::uint32_t i = 0; i < moving; ++i) {
-        const NodeId u = row[ptr];
-        if (arrivals_[u] == 0) touched_.push_back(u);
-        ++arrivals_[u];
-        ptr = ptr + 1 == deg ? 0 : ptr + 1;
-      }
-      pointers_[v] = ptr;
-      exits_[v] += moving;
-      counts_[v] = held;
+      RR_ASSERT(ns.degree > 0, "agent stranded on isolated node");
+      ns.pointer = distribute_exits(
+          arcs + ns.row_begin, ns.degree, ns.pointer, moving,
+          [&](std::uint32_t, NodeId u, std::uint32_t c) {
+            graph::NodeState& nu = node_[u];
+            if (nu.arrivals == 0) touched_.push_back(u);
+            nu.arrivals += c;
+          });
+      stats_[v].exits += moving;
+      ns.count = held;
     }
     commit_arrivals();
   }
@@ -89,9 +95,8 @@ class RotorRouter final : public sim::Engine, public sim::StateIO {
   NodeId num_nodes() const override { return csr_.num_nodes(); }
   std::uint32_t num_agents() const override { return num_agents_; }
 
-  std::uint32_t agents_at(NodeId v) const { return counts_[v]; }
-  std::uint32_t pointer(NodeId v) const { return pointers_[v]; }
-  const std::vector<std::uint32_t>& pointers() const { return pointers_; }
+  std::uint32_t agents_at(NodeId v) const { return node_[v].count; }
+  std::uint32_t pointer(NodeId v) const { return node_[v].pointer; }
   const std::vector<NodeId>& occupied_nodes() const { return occupied_; }
   /// Number of occupied-list entries; commit_arrivals keeps this equal to
   /// the number of nodes hosting at least one agent (no stale growth).
@@ -99,9 +104,9 @@ class RotorRouter final : public sim::Engine, public sim::StateIO {
 
   /// n_v(t): total visits to v in rounds [1,t] plus agents placed at v
   /// initially (paper's n_v(0) convention).
-  std::uint64_t visits(NodeId v) const override { return visits_[v]; }
+  std::uint64_t visits(NodeId v) const override { return stats_[v].visits; }
   /// e_v(t): total exits from v in rounds [1,t].
-  std::uint64_t exits(NodeId v) const { return exits_[v]; }
+  std::uint64_t exits(NodeId v) const { return stats_[v].exits; }
 
   /// Total traversals of the arc (v, neighbor(v, port)) so far, via the
   /// paper's Sec. 1.3 identity: ceil((e_v - label) / deg v), where the
@@ -109,19 +114,19 @@ class RotorRouter final : public sim::Engine, public sim::StateIO {
   /// at every round boundary; used for Yanovski-style edge-fairness
   /// measurements without per-arc counters.
   std::uint64_t arc_traversals(NodeId v, std::uint32_t port) const {
-    RR_REQUIRE(v < counts_.size(), "node out of range");
+    RR_REQUIRE(v < node_.size(), "node out of range");
     const std::uint32_t deg = csr_.degree(v);
     RR_REQUIRE(port < deg, "port out of range");
     const std::uint32_t label = (port + deg - initial_pointers_[v]) % deg;
-    const std::uint64_t e = exits_[v];
+    const std::uint64_t e = stats_[v].exits;
     return e > label ? (e - label + deg - 1) / deg : 0;
   }
 
   /// Round of the first visit (0 for initial hosts), kNotCovered if none.
   std::uint64_t first_visit_time(NodeId v) const override {
-    return first_visit_[v];
+    return stats_[v].first_visit;
   }
-  std::uint64_t last_visit_time(NodeId v) const { return last_visit_[v]; }
+  std::uint64_t last_visit_time(NodeId v) const { return stats_[v].last_visit; }
 
   NodeId covered_count() const override { return covered_; }
 
@@ -150,17 +155,11 @@ class RotorRouter final : public sim::Engine, public sim::StateIO {
   std::uint64_t time_ = 0;
   NodeId covered_ = 0;
 
-  std::vector<std::uint32_t> counts_;
-  std::vector<std::uint32_t> pointers_;
+  std::vector<graph::NodeState> node_;  // packed per-node hot state
   std::vector<std::uint32_t> initial_pointers_;
-  std::vector<NodeId> occupied_;  // nodes with counts_ > 0 (unique)
-  std::vector<std::uint32_t> arrivals_;
-  std::vector<NodeId> touched_;
-
-  std::vector<std::uint64_t> visits_;
-  std::vector<std::uint64_t> exits_;
-  std::vector<std::uint64_t> first_visit_;
-  std::vector<std::uint64_t> last_visit_;
+  std::vector<NodeId> occupied_;  // nodes with node_[v].count > 0 (unique)
+  std::vector<NodeId> touched_;   // nodes with node_[v].arrivals > 0
+  std::vector<VisitStats> stats_;  // packed visits/exits/first/last
 };
 
 }  // namespace rr::core

@@ -1,0 +1,183 @@
+#pragma once
+
+// Shared StateIO codec of the two general-graph rotor-router engines.
+//
+// core::RotorRouter and core::ShardedRotorRouter are the same dynamical
+// system over the same packed state (graph::NodeState + core::VisitStats),
+// and their checkpoints are documented as interchangeable — both report
+// engine_name() "rotor-router" and must serialize the byte-identical
+// field set. This header is that field set, written once: both engines'
+// serialize_state/deserialize_state/config_hash delegate here, so a field
+// added for one engine is automatically read and written by the other
+// (drift would otherwise break restore_checkpoint_sharded silently).
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/require.hpp"
+#include "core/shard_step.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "sim/state_io.hpp"
+
+namespace rr::core {
+
+/// Constructor-time initialization shared by both engines: validates the
+/// configuration (connected graph, in-range agents and pointers), caches
+/// degree/row offsets into the NodeState block, applies the optional
+/// initial pointer field, places the agent multiset (counts + the
+/// paper's n_v(0) visits), and marks initial hosts covered.
+/// on_first_occupy(v) fires the first time a node gains an agent, in
+/// `agents` order — engines seed their occupied bookkeeping with it.
+/// Returns the number of initially covered nodes.
+template <typename OnFirstOccupy>
+inline graph::NodeId init_rotor_nodes(const graph::Graph& g,
+                                      const graph::CsrGraph& csr,
+                                      const std::vector<graph::NodeId>& agents,
+                                      const std::vector<std::uint32_t>& pointers,
+                                      std::vector<graph::NodeState>& node,
+                                      std::vector<std::uint32_t>& initial_pointers,
+                                      std::vector<VisitStats>& stats,
+                                      OnFirstOccupy&& on_first_occupy) {
+  RR_REQUIRE(!agents.empty(), "at least one agent required");
+  RR_REQUIRE(g.is_connected(), "rotor-router requires a connected graph");
+  if (!pointers.empty()) {
+    RR_REQUIRE(pointers.size() == g.num_nodes(), "pointer vector size mismatch");
+  }
+  initial_pointers.assign(g.num_nodes(), 0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    node[v].degree = csr.degree_unchecked(v);
+    node[v].row_begin = csr.row_offset(v);
+    if (!pointers.empty()) {
+      RR_REQUIRE(pointers[v] < g.degree(v), "pointer out of range");
+      node[v].pointer = pointers[v];
+      initial_pointers[v] = pointers[v];
+    }
+  }
+  for (graph::NodeId v : agents) {
+    RR_REQUIRE(v < g.num_nodes(), "agent start node out of range");
+    if (node[v].count == 0) on_first_occupy(v);
+    ++node[v].count;
+    ++stats[v].visits;  // n_v(0) counts initially placed agents
+  }
+  graph::NodeId covered = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (node[v].count > 0) {
+      stats[v].first_visit = 0;
+      ++covered;
+    }
+  }
+  return covered;
+}
+
+/// FNV-1a over (pointer, count) per node — the configuration identity
+/// both engines report as config_hash.
+inline std::uint64_t rotor_config_hash(const std::vector<graph::NodeState>& node) {
+  Fnv1a h;
+  for (const graph::NodeState& ns : node) {
+    h.mix(ns.pointer);
+    h.mix(ns.count);
+  }
+  return h.value();
+}
+
+/// Writes the full rotor-router field set: time, sparse agent sites
+/// (ascending node id), pointer fields, visit statistics.
+inline void serialize_rotor_state(sim::StateWriter& out, std::uint64_t time,
+                                  const std::vector<graph::NodeState>& node,
+                                  const std::vector<std::uint32_t>& initial_pointers,
+                                  const std::vector<VisitStats>& stats) {
+  const std::size_t n = node.size();
+  out.field_u64("time", time);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sites;
+  std::vector<std::uint32_t> pointers(n);
+  std::vector<std::uint64_t> visits(n), exits(n), first_visit(n), last_visit(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (node[v].count > 0) sites.emplace_back(v, node[v].count);
+    pointers[v] = node[v].pointer;
+    visits[v] = stats[v].visits;
+    exits[v] = stats[v].exits;
+    first_visit[v] = stats[v].first_visit;
+    last_visit[v] = stats[v].last_visit;
+  }
+  out.field_pairs("agents", sites);
+  out.field_list("pointers", pointers);
+  out.field_list("initial_pointers", initial_pointers);
+  out.field_list("visits", visits);
+  out.field_list("exits", exits);
+  out.field_list("first_visit", first_visit);
+  out.field_list("last_visit", last_visit);
+}
+
+/// The engine-agnostic result of a restore: everything except the
+/// engine's own occupied bookkeeping, which each engine rebuilds from
+/// the repopulated counts (sequential: one list; sharded: per shard).
+struct RestoredRotorState {
+  std::uint64_t time = 0;
+  std::uint32_t num_agents = 0;
+  graph::NodeId covered = 0;
+  /// Occupied nodes in ascending id order (counts already applied).
+  std::vector<graph::NodeId> sites;
+};
+
+/// Validates and applies a serialize_rotor_state document against `csr`'s
+/// topology. On success node/stats/initial_pointers hold the restored
+/// state (counts and arrival accumulators reset and repopulated from the
+/// sparse sites); on failure returns nullopt and the outputs are
+/// unspecified (the StateIO contract for a failed restore).
+inline std::optional<RestoredRotorState> deserialize_rotor_state(
+    const sim::StateReader& in, const graph::CsrGraph& csr,
+    std::vector<graph::NodeState>& node,
+    std::vector<std::uint32_t>& initial_pointers,
+    std::vector<VisitStats>& stats) {
+  const graph::NodeId n = csr.num_nodes();
+  const auto time = in.u64("time");
+  const auto sites = in.pairs("agents");
+  const auto pointers = in.u64_list("pointers", n);
+  const auto initial = in.u64_list("initial_pointers", n);
+  const auto visits = in.u64_list("visits", n);
+  const auto exits = in.u64_list("exits", n);
+  const auto first_visit = in.u64_list("first_visit", n);
+  const auto last_visit = in.u64_list("last_visit", n);
+  if (!time || !sites || sites->empty() || !pointers || !initial || !visits ||
+      !exits || !first_visit || !last_visit) {
+    return std::nullopt;
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if ((*pointers)[v] >= csr.degree_unchecked(v)) return std::nullopt;
+    if ((*initial)[v] >= csr.degree_unchecked(v)) return std::nullopt;
+  }
+  std::uint64_t total_agents = 0;
+  for (const auto& [v, c] : *sites) {
+    if (v >= n || c == 0 || c > ~std::uint32_t{0}) return std::nullopt;
+    total_agents += c;
+  }
+  if (total_agents > ~std::uint32_t{0}) return std::nullopt;
+
+  RestoredRotorState restored;
+  restored.time = *time;
+  restored.num_agents = static_cast<std::uint32_t>(total_agents);
+  initial_pointers.assign(initial->begin(), initial->end());
+  for (graph::NodeId v = 0; v < n; ++v) {
+    node[v].count = 0;
+    node[v].arrivals = 0;
+    node[v].pointer = static_cast<std::uint32_t>((*pointers)[v]);
+    stats[v].visits = (*visits)[v];
+    stats[v].exits = (*exits)[v];
+    stats[v].first_visit = (*first_visit)[v];
+    stats[v].last_visit = (*last_visit)[v];
+    if (stats[v].first_visit != sim::kNotCovered) ++restored.covered;
+  }
+  restored.sites.reserve(sites->size());
+  for (const auto& [v, c] : *sites) {
+    node[v].count = static_cast<std::uint32_t>(c);
+    restored.sites.push_back(static_cast<graph::NodeId>(v));
+  }
+  return restored;
+}
+
+}  // namespace rr::core

@@ -60,6 +60,13 @@ class CsrGraph {
   /// Pointer to the port-ordered neighbor row of `v`; valid for
   /// [0, degree(v)) without bounds checks.
   const NodeId* row(NodeId v) const { return neighbors_.data() + offsets_[v]; }
+  /// Base of the flat arc-head array; engines that cache per-node row
+  /// offsets (graph::NodeState::row_begin) index it directly and skip the
+  /// offsets_ lookup of row().
+  const NodeId* arcs() const { return neighbors_.data(); }
+  /// Offset of v's neighbor row in arcs() (what NodeState::row_begin
+  /// caches at engine construction).
+  std::size_t row_offset(NodeId v) const { return offsets_[v]; }
   std::uint32_t degree_unchecked(NodeId v) const {
     return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
   }

@@ -2,10 +2,16 @@
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "common/require.hpp"
 #include "core/lazy_ring_rotor_router.hpp"
 #include "core/ring_rotor_router.hpp"
 #include "core/rotor_router.hpp"
+#include "core/sharded_rotor_router.hpp"
 #include "graph/descriptor.hpp"
 #include "walk/random_walk.hpp"
 
@@ -120,11 +126,64 @@ std::unique_ptr<Engine> restore_checkpoint(const std::string& text) {
   return restore_checkpoint(*parsed);
 }
 
+std::unique_ptr<Engine> restore_checkpoint_sharded(
+    const ParsedCheckpoint& parsed, std::uint32_t shards, ThreadPool* pool) {
+  if (shards <= 1 || parsed.engine != "rotor-router") {
+    return restore_checkpoint(parsed);
+  }
+  const auto g = graph::graph_from_descriptor(parsed.graph_descriptor);
+  if (!g) return nullptr;
+  auto engine = std::make_unique<core::ShardedRotorRouter>(
+      *g, std::vector<graph::NodeId>{0}, std::vector<std::uint32_t>{},
+      shards, pool);
+  if (!engine->deserialize_state(parsed.state)) return nullptr;
+  return engine;
+}
+
 bool save_checkpoint_file(const std::string& path, const std::string& text) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
   return std::fclose(f) == 0 && ok;
+}
+
+bool save_checkpoint_file_atomic(const std::string& path,
+                                 const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+#if defined(__unix__) || defined(__APPLE__)
+  // Flush the data blocks before the rename is journaled: without this a
+  // *system* crash can commit the rename metadata ahead of the tmp file's
+  // contents and leave a truncated document at `path`.
+  ok = ok && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Persist the rename itself (directory entry).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
+  return true;
+}
+
+std::function<void(const Engine&)> checkpoint_file_sink(
+    std::string path, std::string graph_descriptor) {
+  return [path = std::move(path), graph_descriptor =
+              std::move(graph_descriptor)](const Engine& engine) {
+    (void)save_checkpoint_file_atomic(path,
+                                      write_checkpoint(engine, graph_descriptor));
+  };
 }
 
 std::optional<std::string> read_text_file(const std::string& path) {

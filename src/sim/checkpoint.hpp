@@ -26,12 +26,14 @@
 // Parsing is total: malformed headers, bodies, or descriptors yield
 // nullopt/nullptr, never an abort (checkpoints are external input).
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "sim/engine.hpp"
 #include "sim/state_io.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace rr::sim {
 
@@ -62,8 +64,30 @@ std::unique_ptr<Engine> restore_checkpoint(const std::string& text);
 /// header fields parse once and restore from the result).
 std::unique_ptr<Engine> restore_checkpoint(const ParsedCheckpoint& parsed);
 
+/// As restore_checkpoint, but "rotor-router" checkpoints restore into a
+/// shard-parallel core::ShardedRotorRouter stepping `shards` shards on
+/// `pool` (checkpoints are interchangeable between the sequential and
+/// sharded engines: the shard count is an execution choice, not state).
+/// Other engines restore exactly as restore_checkpoint. shards <= 1
+/// restores the sequential engine.
+std::unique_ptr<Engine> restore_checkpoint_sharded(
+    const ParsedCheckpoint& parsed, std::uint32_t shards,
+    ThreadPool* pool = nullptr);
+
 /// File convenience wrappers (whole-file read/write).
 bool save_checkpoint_file(const std::string& path, const std::string& text);
+/// Crash-safe variant for auto-checkpointing: writes `path`.tmp, then
+/// renames over `path`, so a reader (or a crash) never observes a
+/// half-written document.
+bool save_checkpoint_file_atomic(const std::string& path,
+                                 const std::string& text);
 std::optional<std::string> read_text_file(const std::string& path);
+
+/// Sink for Engine::set_auto_checkpoint: serializes the engine against
+/// `graph_descriptor` and saves it atomically to `path` on every fire.
+/// Write failures are silently ignored (auto-checkpointing is best-effort
+/// crash tolerance; the run itself must not die because a disk filled).
+std::function<void(const Engine&)> checkpoint_file_sink(
+    std::string path, std::string graph_descriptor);
 
 }  // namespace rr::sim

@@ -2,10 +2,11 @@
 
 // Unified simulation-engine interface (sim layer).
 //
-// The repository has three engines — the general-graph rotor-router
-// (core::RotorRouter, CSR-backed), the ring-specialized rotor-router
-// (core::RingRotorRouter) and k parallel random walks
-// (walk::GraphRandomWalks). They share the synchronous-round model of the
+// The repository's engines — the general-graph rotor-router
+// (core::RotorRouter, CSR-backed), its shard-parallel twin
+// (core::ShardedRotorRouter), the ring-specialized rotor-routers
+// (core::RingRotorRouter, core::LazyRingRotorRouter) and k parallel
+// random walks (walk::GraphRandomWalks) — share the synchronous-round model of the
 // paper: a configuration evolves one round at a time, visits accumulate,
 // coverage is monotone. `sim::Engine` captures that contract once so that
 // drivers — batched runners, delayed deployments, limit-cycle detection,
@@ -47,7 +48,10 @@ class Engine {
   void step_delayed(const DelayFn& delay) { do_step_delayed(delay); }
 
   virtual void run(std::uint64_t rounds) {
-    for (std::uint64_t i = 0; i < rounds; ++i) step();
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      step();
+      fire_auto_checkpoint_if_due();
+    }
   }
 
   /// Runs until every node has been visited; returns the cover time (the
@@ -57,9 +61,29 @@ class Engine {
     if (all_covered()) return 0;
     while (time() < max_rounds) {
       step();
+      fire_auto_checkpoint_if_due();
       if (all_covered()) return time();
     }
     return kNotCovered;
+  }
+
+  /// Periodic auto-checkpointing: during run()/run_until_covered(), `sink`
+  /// is invoked with the engine every `every` rounds (at rounds where
+  /// time() is `every` apart, starting `every` rounds from now), so a
+  /// crash mid-sweep loses at most `every` rounds of work. The sink
+  /// should persist atomically — sim::checkpoint_file_sink writes
+  /// tmp+rename. `every` 0 (or an empty sink) disables.
+  void set_auto_checkpoint(std::uint64_t every,
+                           std::function<void(const Engine&)> sink) {
+    if (every == 0 || !sink) {
+      ckpt_every_ = 0;
+      ckpt_sink_ = nullptr;
+      ckpt_next_ = kNotCovered;
+      return;
+    }
+    ckpt_every_ = every;
+    ckpt_sink_ = std::move(sink);
+    ckpt_next_ = time() + every;
   }
 
   virtual std::uint64_t time() const = 0;
@@ -87,8 +111,33 @@ class Engine {
   /// Stable engine identifier for tables and traces.
   virtual const char* engine_name() const = 0;
 
+ protected:
+  /// Rounds until the next auto-checkpoint is due (kNotCovered when
+  /// disabled). Engines whose run() leaps multiple rounds at once (the
+  /// lazy ring engine) cap their leaps with this so the sink still fires
+  /// on the exact schedule.
+  std::uint64_t rounds_to_auto_checkpoint() const {
+    if (ckpt_next_ == kNotCovered) return kNotCovered;
+    // Direct step() calls between runs can move time past the mark; the
+    // next fire_auto_checkpoint_if_due() catches up immediately.
+    return ckpt_next_ > time() ? ckpt_next_ - time() : 0;
+  }
+
+  /// Fires the sink when the schedule says so; a single compare against
+  /// the (normally never-due) next-round mark on the hot path.
+  void fire_auto_checkpoint_if_due() {
+    if (time() >= ckpt_next_) {
+      ckpt_sink_(*this);
+      ckpt_next_ = time() + ckpt_every_;
+    }
+  }
+
  private:
   virtual void do_step_delayed(const DelayFn& delay) = 0;
+
+  std::uint64_t ckpt_every_ = 0;
+  std::uint64_t ckpt_next_ = kNotCovered;  // absolute round of next fire
+  std::function<void(const Engine&)> ckpt_sink_;
 };
 
 }  // namespace rr::sim

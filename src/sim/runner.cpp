@@ -1,10 +1,6 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <mutex>
-#include <thread>
 
 #include "common/parse.hpp"
 
@@ -59,107 +55,26 @@ std::optional<SweepCheckpoint> SweepCheckpoint::from_text(
   return ck;
 }
 
-// Batch protocol: for_each publishes (fn, jobs, generation) under the lock
-// and wakes the workers. A worker that observes a new generation counts
-// itself active *before* releasing the lock, drains the shared job counter,
-// then counts itself out. The caller drains too, and a batch is complete
-// only when the job counter is exhausted AND no worker is still active —
-// which also guarantees no worker can touch a stale `fn` after for_each
-// returns (a worker that slept through a whole batch wakes to find the next
-// generation and reads the then-current parameters).
-struct Runner::Pool {
-  std::mutex mu;
-  std::condition_variable work_ready;
-  std::condition_variable batch_done;
-  const std::function<void(std::uint64_t)>* fn = nullptr;
-  std::uint64_t jobs = 0;
-  std::uint64_t chunk = 1;
-  std::atomic<std::uint64_t> next{0};
-  std::uint64_t generation = 0;
-  unsigned active = 0;  // workers currently inside drain(); guarded by mu
-  bool stop = false;
+// The batch protocol itself lives in sim::ThreadPool (extracted so the
+// sharded engine can share the worker threads); Runner adds the
+// engine-aware conveniences and the scheduling policies on top.
 
-  // Claims and runs jobs of the current batch until none are left. Each
-  // fetch-add claims a contiguous chunk, so tiny jobs (~1e6-trial sweeps)
-  // don't serialize every claim on the shared counter.
-  void drain() {
-    const auto* f = fn;
-    const std::uint64_t count = jobs;
-    const std::uint64_t step = chunk;
-    for (;;) {
-      const std::uint64_t base = next.fetch_add(step, std::memory_order_relaxed);
-      if (base >= count) break;
-      const std::uint64_t limit = std::min(count, base + step);
-      for (std::uint64_t i = base; i < limit; ++i) (*f)(i);
-    }
-  }
-};
-
-Runner::Runner(unsigned max_threads) : pool_(std::make_unique<Pool>()) {
-  unsigned threads =
-      max_threads ? max_threads : std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  // The caller participates in every batch, so spawn threads-1 workers.
-  for (unsigned t = 1; t < threads; ++t) {
-    workers_.push_back(std::make_unique<std::jthread>([this] {
-      Pool& p = *pool_;
-      std::uint64_t seen_generation = 0;
-      for (;;) {
-        {
-          std::unique_lock<std::mutex> lock(p.mu);
-          // `fn != nullptr` keeps stragglers that slept through a whole
-          // batch from entering drain() with stale parameters: a finished
-          // batch unpublishes fn under the lock, so late wakers go back to
-          // sleep until the next publish.
-          p.work_ready.wait(lock, [&] {
-            return p.stop || (p.generation != seen_generation && p.fn != nullptr);
-          });
-          if (p.stop) return;
-          seen_generation = p.generation;
-          ++p.active;
-        }
-        p.drain();
-        {
-          std::lock_guard<std::mutex> lock(p.mu);
-          if (--p.active == 0) p.batch_done.notify_all();
-        }
-      }
-    }));
-  }
-}
-
-Runner::~Runner() {
-  {
-    std::lock_guard<std::mutex> lock(pool_->mu);
-    pool_->stop = true;
-  }
-  pool_->work_ready.notify_all();
-  workers_.clear();  // jthread joins on destruction
-}
-
-void Runner::for_each(std::uint64_t jobs,
-                      const std::function<void(std::uint64_t)>& fn,
-                      std::uint64_t chunk) {
-  RR_REQUIRE(jobs > 0, "need at least one job");
-  Pool& p = *pool_;
-  if (chunk == 0) {
-    // Auto-size: ~8 claims per thread keeps skewed runtimes balanced; the
-    // 64 cap bounds the tail (last chunk) of very large batches.
-    chunk = std::clamp<std::uint64_t>(jobs / (8ULL * num_threads()), 1, 64);
-  }
-  {
-    std::lock_guard<std::mutex> lock(p.mu);
-    p.fn = &fn;
-    p.jobs = jobs;
-    p.chunk = chunk;
-    p.next.store(0, std::memory_order_relaxed);
-    ++p.generation;
-  }
-  p.work_ready.notify_all();
-  p.drain();  // the caller is a worker too; returns once all jobs are claimed
-  std::unique_lock<std::mutex> lock(p.mu);
-  p.batch_done.wait(lock, [&] { return p.active == 0; });
-  p.fn = nullptr;
+void Runner::for_each_hinted(std::uint64_t jobs,
+                             const std::function<void(std::uint64_t)>& fn,
+                             const std::vector<double>& cost_hint) {
+  RR_REQUIRE(cost_hint.size() == jobs, "one cost hint per job required");
+  // LPT schedule: claim order is descending estimated cost (ties by job
+  // index, so the order — and therefore any timing-sensitive telemetry —
+  // is deterministic). chunk = 1: hinted sweeps have few, large jobs, so
+  // claim contention is irrelevant and chunking would undo the ordering.
+  std::vector<std::uint64_t> order(jobs);
+  for (std::uint64_t i = 0; i < jobs; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint64_t a, std::uint64_t b) {
+                     return cost_hint[a] > cost_hint[b];
+                   });
+  pool_.for_each(jobs, [&](std::uint64_t slot) { fn(order[slot]); },
+                 /*chunk=*/1);
 }
 
 std::vector<double> Runner::map(
@@ -183,6 +98,16 @@ std::vector<std::uint64_t> Runner::cover_times(std::uint64_t trials,
   for_each(trials, [&](std::uint64_t i) {
     covers[i] = factory(i)->run_until_covered(max_rounds);
   });
+  return covers;
+}
+
+std::vector<std::uint64_t> Runner::cover_times(
+    std::uint64_t trials, const EngineFactory& factory,
+    std::uint64_t max_rounds, const std::vector<double>& cost_hint) {
+  std::vector<std::uint64_t> covers(trials);
+  for_each_hinted(trials, [&](std::uint64_t i) {
+    covers[i] = factory(i)->run_until_covered(max_rounds);
+  }, cost_hint);
   return covers;
 }
 

@@ -13,9 +13,10 @@
 // sim::Engine per trial through a factory and run it to coverage, so the
 // same driver line serves rotor-routers and random walks alike.
 //
-// The bench-scale knobs (RR_BENCH_SCALE) live here too: they were split
-// across analysis/experiment.hpp and analysis/parallel.hpp before; both
-// headers now forward to this one.
+// The bench-scale knobs (RR_BENCH_SCALE) live here too, alongside the
+// pool they parameterize. The worker threads themselves are a
+// sim::ThreadPool (sim/thread_pool.hpp), shared with shard-parallel
+// engines via pool().
 
 #include <cstdint>
 #include <cstdio>
@@ -24,7 +25,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "analysis/stats.hpp"
@@ -32,6 +32,7 @@
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace rr::sim {
 
@@ -131,16 +132,18 @@ class Runner {
  public:
   /// `max_threads` 0 = hardware concurrency. The calling thread always
   /// participates, so a Runner on a single-core machine runs jobs inline.
-  explicit Runner(unsigned max_threads = 0);
-  ~Runner();
+  explicit Runner(unsigned max_threads = 0) : pool_(max_threads) {}
 
   Runner(const Runner&) = delete;
   Runner& operator=(const Runner&) = delete;
 
   /// Worker threads plus the participating caller.
-  unsigned num_threads() const {
-    return static_cast<unsigned>(workers_.size()) + 1;
-  }
+  unsigned num_threads() const { return pool_.num_threads(); }
+
+  /// The underlying fork-join pool; share it with shard-parallel engines
+  /// (core::ShardedRotorRouter) so trial-level and shard-level parallelism
+  /// draw from one set of threads instead of oversubscribing.
+  ThreadPool& pool() { return pool_; }
 
   /// Runs fn(i) for i in [0, jobs) across the pool; blocks until all jobs
   /// finished. Jobs are claimed dynamically in contiguous chunks: one
@@ -150,7 +153,20 @@ class Runner {
   /// keep skewed runtimes balanced, large enough to amortize contention).
   void for_each(std::uint64_t jobs,
                 const std::function<void(std::uint64_t)>& fn,
-                std::uint64_t chunk = 0);
+                std::uint64_t chunk = 0) {
+    pool_.for_each(jobs, fn, chunk);
+  }
+
+  /// for_each with per-job cost estimates (arbitrary positive units, only
+  /// relative magnitudes matter): jobs run largest-estimate-first, one
+  /// claim per job, so a strongly skewed sweep does not strand its big
+  /// jobs at the tail of the schedule (longest-processing-time-first).
+  /// Results are identical to for_each — job i still receives index i —
+  /// only the execution order changes. `cost_hint` must have one entry
+  /// per job.
+  void for_each_hinted(std::uint64_t jobs,
+                       const std::function<void(std::uint64_t)>& fn,
+                       const std::vector<double>& cost_hint);
 
   /// Runs fn over [0, jobs); returns the results in job order.
   std::vector<double> map(std::uint64_t jobs,
@@ -168,6 +184,15 @@ class Runner {
                                          const EngineFactory& factory,
                                          std::uint64_t max_rounds);
 
+  /// cover_times with per-trial cost estimates (see for_each_hinted):
+  /// skewed sweeps — mixed instance sizes, worst-case vs random starts —
+  /// schedule their expensive trials first. Results are identical to the
+  /// unhinted overload.
+  std::vector<std::uint64_t> cover_times(std::uint64_t trials,
+                                         const EngineFactory& factory,
+                                         std::uint64_t max_rounds,
+                                         const std::vector<double>& cost_hint);
+
   /// Resumable cover_times: only trials not marked done in `ck` run; their
   /// results and done flags are filled in. `ck.trials` must match `trials`
   /// (pass SweepCheckpoint::fresh(trials) to start). Returns the complete
@@ -184,11 +209,7 @@ class Runner {
                                      std::uint64_t max_rounds);
 
  private:
-  struct Pool;  // worker state (mutex/condvars), hidden from headers
-  void work_until_drained();
-
-  std::vector<std::unique_ptr<std::jthread>> workers_;
-  std::unique_ptr<Pool> pool_;
+  ThreadPool pool_;
 };
 
 }  // namespace rr::sim

@@ -1,0 +1,176 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/require.hpp"
+
+namespace rr::sim {
+
+namespace {
+
+// One flag across all pools: a job of pool A that steps a sharded engine
+// holding pool B must still inline B's dispatch (the hardware is already
+// owned by A's batch).
+thread_local bool tls_in_pool_job = false;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Spin budget before parking (workers) or blocking (caller). Roughly a
+// few microseconds: long enough to bridge the gap between per-round
+// dispatches of a continuously stepped sharded engine, short enough that
+// an idle pool parks promptly.
+constexpr int kSpinLimit = 1 << 12;
+
+}  // namespace
+
+// Batch protocol: for_each publishes (fn, jobs, chunk) and bumps the
+// atomic `generation` under the mutex, then wakes the workers. Workers
+// spin on `generation` (lock-free fast path) and fall back to a condvar
+// wait; either way they *enter* a batch under the mutex, re-checking that
+// the batch is still published (`fn != nullptr`) — a straggler that wakes
+// after the batch completed goes back to sleep instead of reading stale
+// parameters. A batch is complete when the job counter is exhausted AND
+// no worker is still active; for_each unpublishes fn before returning, so
+// no worker can touch it afterwards.
+struct ThreadPool::Shared {
+  std::mutex mu;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+  const std::function<void(std::uint64_t)>* fn = nullptr;  // guarded by mu
+  std::uint64_t jobs = 0;                                  // guarded by mu
+  std::uint64_t chunk = 1;                                 // guarded by mu
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<unsigned> active{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> dispatching{false};  // single-dispatcher contract check
+
+  // Claims and runs jobs of the current batch until none are left. Each
+  // fetch-add claims a contiguous chunk, so tiny jobs (~1e6-trial sweeps)
+  // don't serialize every claim on the shared counter.
+  static void drain(const std::function<void(std::uint64_t)>& f,
+                    std::uint64_t count, std::uint64_t step,
+                    std::atomic<std::uint64_t>& counter) {
+    tls_in_pool_job = true;
+    for (;;) {
+      const std::uint64_t base = counter.fetch_add(step, std::memory_order_relaxed);
+      if (base >= count) break;
+      const std::uint64_t limit = std::min(count, base + step);
+      for (std::uint64_t i = base; i < limit; ++i) f(i);
+    }
+    tls_in_pool_job = false;
+  }
+};
+
+bool ThreadPool::in_pool_job() { return tls_in_pool_job; }
+
+ThreadPool::ThreadPool(unsigned max_threads) : shared_(std::make_unique<Shared>()) {
+  unsigned threads =
+      max_threads ? max_threads : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  // The caller participates in every batch, so spawn threads-1 workers.
+  for (unsigned t = 1; t < threads; ++t) {
+    workers_.push_back(std::make_unique<std::jthread>([this] {
+      Shared& s = *shared_;
+      std::uint64_t seen = 0;
+      for (;;) {
+        // Lock-free fast path: spin on the batch generation.
+        int spins = 0;
+        while (s.generation.load(std::memory_order_acquire) == seen &&
+               !s.stop.load(std::memory_order_acquire)) {
+          if (++spins > kSpinLimit) break;
+          cpu_relax();
+        }
+        const std::function<void(std::uint64_t)>* fn = nullptr;
+        std::uint64_t jobs = 0;
+        std::uint64_t chunk = 1;
+        {
+          std::unique_lock<std::mutex> lock(s.mu);
+          s.work_ready.wait(lock, [&] {
+            return s.stop.load(std::memory_order_relaxed) ||
+                   (s.generation.load(std::memory_order_relaxed) != seen &&
+                    s.fn != nullptr);
+          });
+          if (s.stop.load(std::memory_order_relaxed)) return;
+          seen = s.generation.load(std::memory_order_relaxed);
+          fn = s.fn;
+          jobs = s.jobs;
+          chunk = s.chunk;
+          s.active.fetch_add(1, std::memory_order_relaxed);
+        }
+        Shared::drain(*fn, jobs, chunk, s.next);
+        if (s.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(s.mu);
+          s.batch_done.notify_all();
+        }
+      }
+    }));
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->stop.store(true, std::memory_order_release);
+  }
+  shared_->work_ready.notify_all();
+  workers_.clear();  // jthread joins on destruction
+}
+
+void ThreadPool::for_each(std::uint64_t jobs,
+                          const std::function<void(std::uint64_t)>& fn,
+                          std::uint64_t chunk) {
+  RR_REQUIRE(jobs > 0, "need at least one job");
+  // Nested dispatch (or a 1-thread pool): run inline on the caller, in
+  // job order. The in-pool-job flag is left untouched, so deeper nesting
+  // stays inline too.
+  if (tls_in_pool_job || workers_.empty()) {
+    for (std::uint64_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  Shared& s = *shared_;
+  RR_ASSERT(!s.dispatching.exchange(true, std::memory_order_acq_rel),
+            "concurrent top-level ThreadPool::for_each from two threads");
+  if (chunk == 0) {
+    // Auto-size: ~8 claims per thread keeps skewed runtimes balanced; the
+    // 64 cap bounds the tail (last chunk) of very large batches.
+    chunk = std::clamp<std::uint64_t>(jobs / (8ULL * num_threads()), 1, 64);
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.fn = &fn;
+    s.jobs = jobs;
+    s.chunk = chunk;
+    s.next.store(0, std::memory_order_relaxed);
+    s.generation.fetch_add(1, std::memory_order_release);
+  }
+  s.work_ready.notify_all();
+  Shared::drain(fn, jobs, chunk, s.next);  // the caller is a worker too
+  // Completion: spin briefly (per-round dispatches finish in well under
+  // the spin budget), then block on the condvar.
+  int spins = 0;
+  while (s.active.load(std::memory_order_acquire) != 0) {
+    if (++spins > kSpinLimit) break;
+    cpu_relax();
+  }
+  std::unique_lock<std::mutex> lock(s.mu);
+  // acquire: the last worker decrements `active` outside the mutex, so a
+  // spurious wakeup observing 0 through this load must still establish
+  // the happens-before edge to that worker's job writes.
+  s.batch_done.wait(lock, [&] {
+    return s.active.load(std::memory_order_acquire) == 0;
+  });
+  s.fn = nullptr;
+  s.dispatching.store(false, std::memory_order_release);
+}
+
+}  // namespace rr::sim

@@ -1,0 +1,171 @@
+// Periodic auto-checkpointing inside Engine::run()/run_until_covered():
+// the sink must fire on the exact round schedule for every backend —
+// including the lazy ring engine, whose ballistic leaps must stop at
+// checkpoint marks — never perturb the trajectory, and the file sink must
+// persist atomically (tmp + rename) so a crash mid-write cannot corrupt
+// the previous checkpoint.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lazy_ring_rotor_router.hpp"
+#include "core/ring_rotor_router.hpp"
+#include "core/rotor_router.hpp"
+#include "core/sharded_rotor_router.hpp"
+#include "graph/descriptor.hpp"
+#include "graph/generators.hpp"
+#include "sim/checkpoint.hpp"
+#include "walk/random_walk.hpp"
+
+namespace rr::sim {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(AutoCheckpoint, FiresOnTheExactRoundSchedule) {
+  const graph::Graph g = graph::torus(6, 6);
+  core::RotorRouter rr(g, {0, 9});
+  std::vector<std::uint64_t> fired;
+  rr.set_auto_checkpoint(8, [&](const Engine& e) { fired.push_back(e.time()); });
+  rr.run(50);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{8, 16, 24, 32, 40, 48}));
+  // Re-arming starts a fresh schedule from the current round.
+  fired.clear();
+  rr.set_auto_checkpoint(10, [&](const Engine& e) { fired.push_back(e.time()); });
+  rr.run(20);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{60, 70}));
+}
+
+TEST(AutoCheckpoint, LazyEngineLeapsStopAtCheckpointMarks) {
+  // n large, k tiny: run() fast-forwards thousands of rounds per leap
+  // once promoted; the schedule must still be hit exactly, and the final
+  // configuration must match an unobserved twin bit for bit.
+  const core::NodeId n = 1 << 12;
+  const std::vector<core::NodeId> agents{0, n / 2};
+  core::LazyRingRotorRouter observed(n, agents);
+  core::LazyRingRotorRouter twin(n, agents);
+  std::vector<std::uint64_t> fired;
+  observed.set_auto_checkpoint(1000,
+                               [&](const Engine& e) { fired.push_back(e.time()); });
+  observed.run(10500);
+  twin.run(10500);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{1000, 2000, 3000, 4000, 5000,
+                                               6000, 7000, 8000, 9000, 10000}));
+  EXPECT_EQ(observed.time(), twin.time());
+  EXPECT_EQ(observed.config_hash(), twin.config_hash());
+}
+
+TEST(AutoCheckpoint, CoverRunsCheckpointAndStopAtCoverage) {
+  const graph::Graph g = graph::ring(64);
+  core::RotorRouter rr(g, {0});
+  std::vector<std::uint64_t> fired;
+  rr.set_auto_checkpoint(16, [&](const Engine& e) { fired.push_back(e.time()); });
+  const std::uint64_t cover = rr.run_until_covered(1 << 20);
+  ASSERT_NE(cover, kNotCovered);
+  ASSERT_FALSE(fired.empty());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], 16 * (i + 1));
+  }
+  EXPECT_LE(fired.back(), cover);
+}
+
+TEST(AutoCheckpoint, FileSinkPersistsARestorableCheckpoint) {
+  const auto descriptor = graph::GraphDescriptor::torus(8, 8);
+  const graph::Graph g = *descriptor.build();
+  const std::string path = temp_path("auto_ckpt.txt");
+  std::remove(path.c_str());
+
+  core::ShardedRotorRouter rr(g, {0, 17, 40}, {}, /*shards=*/4);
+  rr.set_auto_checkpoint(32, checkpoint_file_sink(path, descriptor.text()));
+  rr.run(100);  // fires at 32, 64, 96; file holds the t=96 state
+
+  const auto text = read_text_file(path);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(std::optional<std::string>{std::nullopt},
+            read_text_file(path + ".tmp"));  // no tmp residue
+  auto restored = restore_checkpoint(*text);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->time(), 96u);
+
+  // The restored run continues exactly like the original.
+  restored->run(4);
+  EXPECT_EQ(restored->time(), rr.time());
+  EXPECT_EQ(restored->config_hash(), rr.config_hash());
+  std::remove(path.c_str());
+}
+
+TEST(AutoCheckpoint, StochasticEngineResumesItsRngStream) {
+  const auto descriptor = graph::GraphDescriptor::torus(6, 6);
+  const graph::Graph g = *descriptor.build();
+  const std::string path = temp_path("auto_ckpt_walks.txt");
+  std::remove(path.c_str());
+
+  walk::GraphRandomWalks walks(g, {0, 5}, /*seed=*/99);
+  walks.set_auto_checkpoint(25, checkpoint_file_sink(path, descriptor.text()));
+  walks.run(60);  // file holds t=50
+
+  const auto text = read_text_file(path);
+  ASSERT_TRUE(text.has_value());
+  auto restored = restore_checkpoint(*text);
+  ASSERT_NE(restored, nullptr);
+  ASSERT_EQ(restored->time(), 50u);
+  restored->run(10);
+  EXPECT_EQ(restored->config_hash(), walks.config_hash());
+  std::remove(path.c_str());
+}
+
+TEST(AutoCheckpoint, EveryBackendFiresDuringRunAndRunUntilCovered) {
+  // Structural enforcement for the whole backend registry: an engine (or
+  // a future run()/run_until_covered() override) that forgets
+  // fire_auto_checkpoint_if_due fails here instead of silently dropping
+  // crash tolerance in production sweeps.
+  const graph::Graph torus = graph::torus(8, 8);
+  std::vector<std::unique_ptr<Engine>> engines;
+  engines.push_back(
+      std::make_unique<core::RotorRouter>(torus, std::vector<graph::NodeId>{0}));
+  engines.push_back(std::make_unique<core::ShardedRotorRouter>(
+      torus, std::vector<graph::NodeId>{0}, std::vector<std::uint32_t>{}, 4));
+  engines.push_back(std::make_unique<core::RingRotorRouter>(
+      64, std::vector<core::NodeId>{0}));
+  engines.push_back(std::make_unique<core::LazyRingRotorRouter>(
+      64, std::vector<core::NodeId>{0}));
+  engines.push_back(std::make_unique<walk::GraphRandomWalks>(
+      torus, std::vector<graph::NodeId>{0}, /*seed=*/7));
+  for (auto& engine : engines) {
+    SCOPED_TRACE(engine->engine_name());
+    std::vector<std::uint64_t> fired;
+    engine->set_auto_checkpoint(
+        8, [&](const Engine& e) { fired.push_back(e.time()); });
+    engine->run(20);
+    EXPECT_EQ(fired, (std::vector<std::uint64_t>{8, 16}));
+    fired.clear();
+    engine->set_auto_checkpoint(
+        8, [&](const Engine& e) { fired.push_back(e.time()); });
+    (void)engine->run_until_covered(engine->time() + 64);
+    ASSERT_FALSE(fired.empty());
+    for (std::size_t i = 0; i < fired.size(); ++i) {
+      EXPECT_EQ(fired[i], 20 + 8 * (i + 1));
+    }
+  }
+}
+
+TEST(AutoCheckpoint, DisablingStopsFiring) {
+  const graph::Graph g = graph::ring(16);
+  core::RotorRouter rr(g, {0});
+  int fires = 0;
+  rr.set_auto_checkpoint(4, [&](const Engine&) { ++fires; });
+  rr.run(8);
+  EXPECT_EQ(fires, 2);
+  rr.set_auto_checkpoint(0, nullptr);
+  rr.run(32);
+  EXPECT_EQ(fires, 2);
+}
+
+}  // namespace
+}  // namespace rr::sim

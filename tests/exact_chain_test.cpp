@@ -7,7 +7,7 @@
 
 #include <cmath>
 
-#include "analysis/parallel.hpp"
+#include "sim/runner.hpp"
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "walk/random_walk.hpp"
@@ -72,7 +72,7 @@ TEST(ExactChain, SolverMatchesSimulationOnTorus) {
   const graph::NodeId target = 10;
   const auto h = expected_hitting_times(g, target);
   // Simulate hitting time from node 0.
-  auto stats = rr::analysis::parallel_stats(4000, [&](std::uint64_t i) {
+  auto stats = rr::sim::Runner().stats(4000, [&](std::uint64_t i) {
     Rng rng(911 + i);
     graph::NodeId pos = 0;
     std::uint64_t t = 0;

@@ -7,9 +7,8 @@
 
 #include "analysis/fit.hpp"
 #include "analysis/ode.hpp"
-#include "analysis/parallel.hpp"
-#include "analysis/sequence.hpp"
 #include "sim/runner.hpp"
+#include "analysis/sequence.hpp"
 #include "analysis/stats.hpp"
 #include "core/cover_time.hpp"
 #include "core/domains.hpp"
@@ -58,8 +57,9 @@ TEST(Integration, Table1WalksWorstLogSpeedup) {
   // E[cover] with k walkers all-on-one improves only ~log k: from k=2 to
   // k=32 the speed-up should be around log2(32)/log2(2) = 5, not 16.
   const NodeId n = 256;
+  sim::Runner runner;
   auto mean_cover = [&](std::uint32_t k) {
-    return analysis::parallel_stats(40, [&, k](std::uint64_t i) {
+    return runner.stats(40, [&, k](std::uint64_t i) {
       walk::RingRandomWalks w(n, core::place_all_on_one(k, 0), 42 + i * 13);
       return static_cast<double>(w.run_until_covered(~0ULL / 2));
     }).mean();
@@ -176,7 +176,7 @@ TEST(Integration, WalksBestPlacementCarriesLogSquaredPenalty) {
   const auto agents = core::place_equally_spaced(n, k);
   RingConfig rcfg{n, agents, core::pointers_negative(n, agents)};
   const double rotor = static_cast<double>(core::ring_cover_time(rcfg));
-  const double walks = analysis::parallel_stats(60, [&](std::uint64_t i) {
+  const double walks = sim::Runner().stats(60, [&](std::uint64_t i) {
     walk::RingRandomWalks w(n, agents, sim::derive_seed(777, i));
     return static_cast<double>(w.run_until_covered(~0ULL / 2));
   }).mean();

@@ -9,7 +9,6 @@
 
 #include <cmath>
 
-#include "analysis/parallel.hpp"
 #include "sim/runner.hpp"
 #include "analysis/stats.hpp"
 #include "graph/generators.hpp"
@@ -93,7 +92,7 @@ TEST(RingWalks, SingleWalkerCoverTimeMatchesTheory) {
   // E[cover] of the n-cycle for one walker is exactly n(n-1)/2.
   const NodeId n = 24;
   const double expected = n * (n - 1) / 2.0;
-  auto stats = rr::analysis::parallel_stats(400, [&](std::uint64_t i) {
+  auto stats = rr::sim::Runner().stats(400, [&](std::uint64_t i) {
     RingRandomWalks w(n, {0}, 1000 + i);
     return static_cast<double>(w.run_until_covered(~0ULL / 2));
   });
@@ -112,8 +111,9 @@ TEST(RingWalks, CoverageMonotoneAndComplete) {
 
 TEST(RingWalks, MoreWalkersCoverFaster) {
   const NodeId n = 128;
+  rr::sim::Runner runner;
   auto mean_cover = [&](std::uint32_t k, std::uint64_t seed) {
-    return rr::analysis::parallel_stats(60, [&, k, seed](std::uint64_t i) {
+    return runner.stats(60, [&, k, seed](std::uint64_t i) {
       std::vector<NodeId> starts(k);
       for (std::uint32_t j = 0; j < k; ++j) {
         starts[j] = static_cast<NodeId>(j * n / k);
@@ -155,11 +155,12 @@ TEST(GraphWalks, RingSpecializationAgreesWithGeneralEngine) {
   // ring should match within CI.
   const graph::NodeId n = 48;
   graph::Graph g = graph::ring(n);
-  auto general = rr::analysis::parallel_stats(150, [&](std::uint64_t i) {
+  rr::sim::Runner runner;
+  auto general = runner.stats(150, [&](std::uint64_t i) {
     GraphRandomWalks w(g, {0, n / 2}, 900 + i);
     return static_cast<double>(w.run_until_covered(~0ULL / 2));
   });
-  auto fast = rr::analysis::parallel_stats(150, [&](std::uint64_t i) {
+  auto fast = runner.stats(150, [&](std::uint64_t i) {
     RingRandomWalks w(n, {0, n / 2}, 5900 + i);
     return static_cast<double>(w.run_until_covered(~0ULL / 2));
   });
@@ -172,7 +173,7 @@ TEST(GraphWalks, CliqueCoverIsCouponCollector) {
   // over the other n-1 nodes).
   const graph::NodeId n = 16;
   graph::Graph g = graph::clique(n);
-  auto stats = rr::analysis::parallel_stats(300, [&](std::uint64_t i) {
+  auto stats = rr::sim::Runner().stats(300, [&](std::uint64_t i) {
     GraphRandomWalks w(g, {0}, 300 + i);
     return static_cast<double>(w.run_until_covered(~0ULL / 2));
   });

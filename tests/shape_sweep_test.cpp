@@ -8,7 +8,7 @@
 
 #include <cmath>
 
-#include "analysis/parallel.hpp"
+#include "sim/runner.hpp"
 #include "core/cover_time.hpp"
 #include "core/initializers.hpp"
 #include "walk/ring_walk.hpp"
@@ -67,7 +67,7 @@ TEST_P(ShapeSweep, RotorReturnTimeBand) {
 TEST_P(ShapeSweep, WalkWorstCoverBand) {
   const auto [n, k] = GetParam();
   const auto starts = core::place_all_on_one(k, 0);
-  const double mean = analysis::parallel_stats(24, [&](std::uint64_t i) {
+  const double mean = sim::Runner().stats(24, [&](std::uint64_t i) {
     walk::RingRandomWalks w(n, starts, 5000 + 17 * i + n + k);
     return static_cast<double>(w.run_until_covered(~0ULL / 2));
   }).mean();

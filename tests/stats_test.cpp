@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "analysis/parallel.hpp"
+#include "sim/runner.hpp"
 
 namespace rr::analysis {
 namespace {
@@ -59,8 +59,8 @@ TEST(Harmonic, KnownValues) {
 
 TEST(ParallelTrials, ResultsInTrialOrderAndDeterministic) {
   auto fn = [](std::uint64_t i) { return static_cast<double>(i * i); };
-  const auto r1 = parallel_trials(64, fn, 4);
-  const auto r2 = parallel_trials(64, fn, 2);
+  const auto r1 = sim::Runner(4).map(64, fn);
+  const auto r2 = sim::Runner(2).map(64, fn);
   ASSERT_EQ(r1.size(), 64u);
   for (std::uint64_t i = 0; i < 64; ++i) {
     EXPECT_DOUBLE_EQ(r1[i], static_cast<double>(i * i));
@@ -69,13 +69,13 @@ TEST(ParallelTrials, ResultsInTrialOrderAndDeterministic) {
 }
 
 TEST(ParallelTrials, SingleThreadFallback) {
-  const auto r = parallel_trials(5, [](std::uint64_t i) { return i + 1.0; }, 1);
+  const auto r = sim::Runner(1).map(5, [](std::uint64_t i) { return i + 1.0; });
   EXPECT_DOUBLE_EQ(r[4], 5.0);
 }
 
 TEST(ParallelStats, FoldsIntoRunningStats) {
-  const auto s =
-      parallel_stats(100, [](std::uint64_t i) { return static_cast<double>(i); });
+  const auto s = sim::Runner().stats(
+      100, [](std::uint64_t i) { return static_cast<double>(i); });
   EXPECT_EQ(s.count(), 100u);
   EXPECT_DOUBLE_EQ(s.mean(), 49.5);
 }
