@@ -17,8 +17,10 @@
 #include "core/initializers.hpp"
 #include "core/ring_rotor_router.hpp"
 #include "core/rotor_router.hpp"
+#include "graph/descriptor.hpp"
 #include "graph/generators.hpp"
 #include "sim/engine.hpp"
+#include "sim/registry.hpp"
 #include "sim/runner.hpp"
 #include "walk/random_walk.hpp"
 #include "walk/ring_walk.hpp"
@@ -92,23 +94,26 @@ BENCHMARK(BM_CoverTimeWorstCase)->Arg(512)->Arg(1024)->Arg(2048)
 
 // Stepping each engine through the sim::Engine base pointer: the price of
 // the facade relative to the concrete benchmarks above (engines are final,
-// so only truly polymorphic call sites pay it).
-void BM_EnginePolymorphicStep(benchmark::State& state) {
+// so only truly polymorphic call sites pay it). The sweep enumerates the
+// EngineRegistry, so a newly registered backend shows up here (and in the
+// CI throughput diff) without touching this file. Every backend runs on a
+// ring substrate — the one graph all seven support. The registry key is
+// part of the benchmark *name* (not just the label): tools/bench_diff.py
+// matches rows by name, so per-engine identity must survive re-ordering
+// of the registration table.
+void EnginePolymorphicStep(benchmark::State& state,
+                           const rr::sim::EngineSpec* spec) {
   const rr::sim::NodeId n = 1 << 12;
   const std::uint32_t k = 8;
-  const auto agents = rr::core::place_equally_spaced(n, k);
-  rr::graph::Graph g = rr::graph::ring(n);
-  std::unique_ptr<rr::sim::Engine> engine;
-  switch (state.range(0)) {
-    case 0:
-      engine = std::make_unique<rr::core::RingRotorRouter>(n, agents);
-      break;
-    case 1:
-      engine = std::make_unique<rr::core::RotorRouter>(g, agents);
-      break;
-    default:
-      engine = std::make_unique<rr::walk::GraphRandomWalks>(g, agents, 42);
-      break;
+  rr::sim::EngineConfig config;
+  config.agents = rr::core::place_equally_spaced(n, k);
+  config.seed = 42;
+  std::string error;
+  auto engine = rr::sim::EngineRegistry::instance().create(
+      spec->name, rr::graph::GraphDescriptor::ring(n), config, &error);
+  if (!engine) {
+    state.SkipWithError(error.c_str());
+    return;
   }
   for (auto _ : state) {
     engine->step();
@@ -117,25 +122,32 @@ void BM_EnginePolymorphicStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
   state.SetLabel(engine->engine_name());
 }
-BENCHMARK(BM_EnginePolymorphicStep)->Arg(0)->Arg(1)->Arg(2);
+const int kEngineSweepRegistered = [] {
+  for (const auto* spec : rr::sim::EngineRegistry::instance().list()) {
+    benchmark::RegisterBenchmark(
+        ("BM_EnginePolymorphicStep/" + spec->name).c_str(),
+        EnginePolymorphicStep, spec);
+  }
+  return 0;
+}();
 
 // The batched Runner fanning full cover-time trials (engine factory per
 // trial) across the thread pool: throughput of the experiment harness
 // itself, in covers per second.
 void BM_RunnerCoverBatch(benchmark::State& state) {
   const auto trials = static_cast<std::uint64_t>(state.range(0));
-  rr::graph::Graph g = rr::graph::torus(32, 32);
+  const auto descriptor = rr::graph::GraphDescriptor::torus(32, 32);
+  const auto& registry = rr::sim::EngineRegistry::instance();
   rr::sim::Runner runner;
   for (auto _ : state) {
     auto stats = runner.cover_stats(
         trials,
         [&](std::uint64_t trial) -> std::unique_ptr<rr::sim::Engine> {
-          if (trial % 2 == 0) {
-            return std::make_unique<rr::core::RotorRouter>(
-                g, std::vector<rr::graph::NodeId>{0});
-          }
-          return std::make_unique<rr::walk::GraphRandomWalks>(
-              g, std::vector<rr::graph::NodeId>{0}, 1000 + trial);
+          rr::sim::EngineConfig config;
+          config.agents = {0};
+          config.seed = 1000 + trial;
+          return registry.create(trial % 2 == 0 ? "rotor" : "walks",
+                                 descriptor, config);
         },
         ~0ULL / 2);
     benchmark::DoNotOptimize(stats.mean());

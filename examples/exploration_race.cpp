@@ -16,17 +16,12 @@
 #include <vector>
 
 #include "analysis/table.hpp"
-#include "core/cover_time.hpp"
-#include "core/rotor_router.hpp"
-#include "graph/generators.hpp"
+#include "sim/registry.hpp"
 #include "sim/runner.hpp"
-#include "walk/random_walk.hpp"
 
 namespace {
 
 using rr::analysis::Table;
-using rr::graph::Graph;
-using rr::graph::NodeId;
 
 }  // namespace
 
@@ -35,36 +30,35 @@ int main() {
   std::printf("(all agents start at node 0; walk numbers are means of 20"
               " trials)\n\n");
 
-  struct Entry {
-    std::string name;
-    Graph g;
-  };
-  std::vector<Entry> graphs;
-  graphs.push_back({"ring(256)", rr::graph::ring(256)});
-  graphs.push_back({"grid(16x16)", rr::graph::grid(16, 16)});
-  graphs.push_back({"torus(16x16)", rr::graph::torus(16, 16)});
-  graphs.push_back({"hypercube(8)", rr::graph::hypercube(8)});
-  graphs.push_back({"clique(64)", rr::graph::clique(64)});
-  graphs.push_back({"binary_tree(255)", rr::graph::binary_tree(255)});
-  graphs.push_back({"random_4_regular(256)", rr::graph::random_regular(256, 4, 9)});
-  graphs.push_back({"lollipop(192,64)", rr::graph::lollipop(192, 64)});
+  // Substrates as graph descriptors: every engine is built through the
+  // registry, so this driver names no backend type.
+  const char* graphs[] = {"ring 256",          "grid 16 16",
+                          "torus 16 16",       "hypercube 8",
+                          "clique 64",         "tree 255",
+                          "random-regular 256 4 9", "lollipop 192 64"};
 
   // Both engines run through the same batched runner: trial 0 is the
   // deterministic rotor-router, trials 1..20 the random-walk replicas.
+  const auto& registry = rr::sim::EngineRegistry::instance();
   rr::sim::Runner runner;
   for (std::uint32_t k : {1u, 4u, 16u}) {
     Table t({"topology (k=" + std::to_string(k) + ")", "rotor-router cover",
              "random-walk cover (mean)", "walks/rotor"});
-    for (const auto& e : graphs) {
-      const std::vector<NodeId> starts(k, 0);
+    for (const char* descriptor : graphs) {
+      const auto parsed = rr::graph::GraphDescriptor::parse(descriptor);
+      if (!parsed) {
+        std::printf("malformed descriptor '%s'\n", descriptor);
+        return 1;
+      }
+      rr::sim::EngineConfig config;
+      config.agents.assign(k, 0);
       const auto covers = runner.cover_times(
           21,
           [&](std::uint64_t trial) -> std::unique_ptr<rr::sim::Engine> {
-            if (trial == 0) {
-              return std::make_unique<rr::core::RotorRouter>(e.g, starts);
-            }
-            return std::make_unique<rr::walk::GraphRandomWalks>(
-                e.g, starts, 500 + 37 * (trial - 1) + k);
+            rr::sim::EngineConfig c = config;
+            c.seed = 500 + 37 * (trial - 1) + k;
+            return registry.create(trial == 0 ? "rotor" : "walks", *parsed,
+                                   c);
           },
           ~0ULL / 2);
       const auto rr_cover = covers.front();
@@ -73,7 +67,7 @@ int main() {
         walk_mean += static_cast<double>(covers[i]);
       }
       walk_mean /= static_cast<double>(covers.size() - 1);
-      t.add_row({e.name, Table::integer(rr_cover),
+      t.add_row({descriptor, Table::integer(rr_cover),
                  Table::num(walk_mean, 0),
                  Table::num(walk_mean / static_cast<double>(rr_cover), 2)});
     }

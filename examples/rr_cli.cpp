@@ -9,15 +9,18 @@
 //   rr_cli run     --topo torus --size 256 --k 64 --shards 8 --rounds 4000
 //   rr_cli config  "ring n=12 agents=0,6 pointers=cccccccccccc" [--rounds R]
 //   rr_cli lockin  --topo ring|grid|torus|clique|hypercube|tree --size 64
+//   rr_cli engines                                     list registered backends
 //
-// `run` drives any engine (--engine rotor|ring|lazy|walks) on any substrate
-// (--topo/--size sugar or a raw --graph "torus 16 16" descriptor) through
-// the engine-generic checkpoint layer: --checkpoint serializes the full
-// state after the run, --resume restores one and continues bit-exactly.
-// --shards N steps the rotor engine shard-parallel (bit-equal to
-// sequential; also applies when resuming a rotor-router checkpoint), and
-// --checkpoint-every N rewrites --checkpoint atomically every N rounds
-// while the run is in flight (crash-tolerant sweeps).
+// `run` drives any registered engine (--engine NAME; `rr_cli engines` or
+// `--engine help` lists them) on any substrate (--topo/--size sugar or a
+// raw --graph "torus 16 16" descriptor) through the engine-generic
+// checkpoint layer: --checkpoint serializes the full state after the run,
+// --resume restores one and continues bit-exactly. Engines are built
+// exclusively through sim::EngineRegistry — this driver knows no backend
+// by name. --shards N steps shard-capable engines shard-parallel
+// (bit-equal to sequential; also applies when resuming their
+// checkpoints), and --checkpoint-every N rewrites --checkpoint atomically
+// every N rounds while the run is in flight (crash-tolerant sweeps).
 //
 // Exit code 0 on success, 2 on usage errors (so scripts can distinguish).
 
@@ -31,17 +34,15 @@
 #include "common/rng.hpp"
 #include "core/cover_time.hpp"
 #include "core/initializers.hpp"
-#include "core/lazy_ring_rotor_router.hpp"
 #include "core/limit_cycle.hpp"
-#include "core/rotor_router.hpp"
-#include "core/sharded_rotor_router.hpp"
+#include "core/ring_rotor_router.hpp"
 #include "core/snapshot.hpp"
 #include "core/trace.hpp"
 #include "graph/descriptor.hpp"
 #include "graph/generators.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/registry.hpp"
 #include "sim/trace.hpp"
-#include "walk/random_walk.hpp"
 
 namespace {
 
@@ -64,19 +65,45 @@ struct Flags {
   std::uint64_t checkpoint_every = 0;  // auto-checkpoint period (rounds)
 };
 
+// Lists the registered backends straight from the registry, so the help
+// text can never drift from what `run` actually accepts.
+void print_engine_list(std::FILE* out) {
+  std::fprintf(out, "registered engine backends (sim::EngineRegistry):\n");
+  for (const auto* spec : rr::sim::EngineRegistry::instance().list()) {
+    std::fprintf(out, "  %-9s %-22s substrate: %-20s %s\n",
+                 spec->name.c_str(), spec->engine_name.c_str(),
+                 spec->substrate.c_str(),
+                 spec->supports_shards ? "[--shards]" : "");
+    std::fprintf(out, "            %s\n", spec->summary.c_str());
+  }
+}
+
+std::string engine_names() {
+  std::string names;
+  for (const auto* spec : rr::sim::EngineRegistry::instance().list()) {
+    if (!names.empty()) names += "|";
+    names += spec->name;
+  }
+  return names;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: rr_cli <cover|return|trace|run|config|lockin> [flags]\n"
+               "usage: rr_cli <cover|return|trace|run|config|lockin|engines>"
+               " [flags]\n"
                "  common flags: --n N --k K --place one|spaced|random"
                " --ptr toward|negative|uniform|random --seed S\n"
                "  trace: --rounds R --stride S --domains"
                " [--topo ... --size N | --graph DESC]\n"
-               "  run: --engine rotor|ring|lazy|walks --rounds R"
-               " [--topo ... --size N | --graph DESC]\n"
-               "       --checkpoint FILE --resume FILE"
-               " --checkpoint-every N --shards N\n"
+               "  run: --engine %s --rounds R\n"
+               "       [--topo ... --size N | --graph DESC]"
+               " --checkpoint FILE --resume FILE\n"
+               "       --checkpoint-every N --shards N\n"
                "  lockin: --topo ring|grid|torus|clique|hypercube|tree"
-               " --size N\n");
+               " --size N\n"
+               "  engines: list registered backends with substrate"
+               " requirements (also: --engine help)\n",
+               engine_names().c_str());
   return 2;
 }
 
@@ -223,53 +250,39 @@ std::vector<rr::graph::NodeId> spread_agents(rr::graph::NodeId n,
 
 std::unique_ptr<rr::sim::Engine> build_engine(const Flags& f,
                                               const std::string& descriptor) {
+  const auto& registry = rr::sim::EngineRegistry::instance();
   const auto d = rr::graph::GraphDescriptor::parse(descriptor);
   if (!d) {
     std::fprintf(stderr, "rr_cli: malformed graph descriptor '%s'\n",
                  descriptor.c_str());
     return nullptr;
   }
-  const auto g = d->build();
-  if (!g) {
+  const auto n = d->num_nodes();
+  if (!n) {
     std::fprintf(stderr, "rr_cli: invalid graph parameters '%s'\n",
                  descriptor.c_str());
     return nullptr;
   }
-  const auto n = g->num_nodes();
-  if (f.k < 1 || f.k > n) {
-    std::fprintf(stderr, "rr_cli: need 1 <= k <= %u\n", n);
-    return nullptr;
-  }
-  const auto agents = spread_agents(n, f.k);
-  if (f.shards > 1 && f.engine != "rotor") {
+  const auto* spec = registry.find(f.engine);
+  if (spec && f.shards > 1 && !spec->supports_shards) {
     std::fprintf(stderr,
-                 "rr_cli: --shards only applies to --engine rotor; "
+                 "rr_cli: --shards only applies to shard-capable engines; "
                  "stepping %s sequentially\n",
-                 f.engine.c_str());
+                 spec->name.c_str());
   }
-  if (f.engine == "rotor") {
-    if (f.shards > 1) {
-      return std::make_unique<rr::core::ShardedRotorRouter>(
-          *g, agents, std::vector<std::uint32_t>{}, f.shards);
-    }
-    return std::make_unique<rr::core::RotorRouter>(*g, agents);
-  }
-  if (f.engine == "walks") {
-    return std::make_unique<rr::walk::GraphRandomWalks>(*g, agents, f.seed);
-  }
-  if (f.engine == "ring" || f.engine == "lazy") {
-    if (d->kind != "ring") {
-      std::fprintf(stderr, "rr_cli: --engine %s needs a ring substrate\n",
-                   f.engine.c_str());
-      return nullptr;
-    }
-    if (f.engine == "ring") {
-      return std::make_unique<rr::core::RingRotorRouter>(n, agents);
-    }
-    return std::make_unique<rr::core::LazyRingRotorRouter>(n, agents);
-  }
-  std::fprintf(stderr, "rr_cli: unknown engine %s\n", f.engine.c_str());
-  return nullptr;
+  rr::sim::EngineConfig config;
+  config.agents = spread_agents(*n, f.k);
+  config.seed = f.seed;
+  config.shards = f.shards;
+  std::string error;
+  auto engine = registry.create(f.engine, *d, config, &error);
+  if (!engine) std::fprintf(stderr, "rr_cli: %s\n", error.c_str());
+  return engine;
+}
+
+int cmd_engines() {
+  print_engine_list(stdout);
+  return 0;
 }
 
 int cmd_run(const Flags& f) {
@@ -283,10 +296,12 @@ int cmd_run(const Flags& f) {
     }
     const auto parsed = rr::sim::parse_checkpoint(*text);
     if (parsed) {
-      if (f.shards > 1 && parsed->engine != "rotor-router") {
+      const auto* spec =
+          rr::sim::EngineRegistry::instance().find(parsed->engine);
+      if (f.shards > 1 && (!spec || !spec->supports_shards)) {
         std::fprintf(stderr,
-                     "rr_cli: --shards only applies to rotor-router "
-                     "checkpoints; resuming %s sequentially\n",
+                     "rr_cli: --shards only applies to shard-capable "
+                     "engines; resuming %s sequentially\n",
                      parsed->engine.c_str());
       }
       engine = rr::sim::restore_checkpoint_sharded(*parsed, f.shards);
@@ -443,9 +458,11 @@ int cmd_lockin(const Flags& f) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "engines") return cmd_engines();
   if (cmd == "config") return cmd_config(argc, argv);
   Flags f;
   if (!parse_flags(argc, argv, 2, f)) return 2;
+  if (f.engine == "help" || f.engine == "list") return cmd_engines();
   if (cmd == "run") return cmd_run(f);  // validates against its substrate
   if (f.n < 3 || f.k < 1 || f.k > f.n) {
     std::fprintf(stderr, "rr_cli: need n >= 3 and 1 <= k <= n\n");

@@ -1,0 +1,447 @@
+#include "analysis/continuous_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/hash.hpp"
+
+namespace rr::analysis {
+
+namespace {
+
+using sim::NodeId;
+
+constexpr double kMinDomain = 1e-9;  // guards 1/nu against degenerate states
+
+std::uint64_t bits_of(double x) { return std::bit_cast<std::uint64_t>(x); }
+double double_of(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+std::vector<std::uint64_t> to_bits(const std::vector<double>& xs) {
+  std::vector<std::uint64_t> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = bits_of(xs[i]);
+  return out;
+}
+
+}  // namespace
+
+ContinuousDomainEngine::ContinuousDomainEngine(NodeId n,
+                                               std::vector<NodeId> agents,
+                                               std::uint32_t substeps)
+    : n_(n), substeps_(substeps == 0 ? 1 : substeps) {
+  RR_REQUIRE(n >= 1, "ring must have at least one node");
+  RR_REQUIRE(!agents.empty() && agents.size() <= n,
+             "need 1 <= k <= n agents");
+  for (NodeId a : agents) RR_REQUIRE(a < n, "agent out of range");
+  std::sort(agents.begin(), agents.end());
+  anchor_ = std::move(agents);
+  const std::uint32_t k = static_cast<std::uint32_t>(anchor_.size());
+
+  edge_left_.resize(k);
+  edge_right_.resize(k);
+  gap_.assign(k, 0.0);
+  linked_.assign(k, 0);
+  integral_.assign(k, 0.0);
+  held_.assign(k, 0);
+  first_visit_.assign(n_, sim::kNotCovered);
+  dom_.assign(n_, 0);
+  base_.assign(n_, 0.0);
+
+  // Group co-located agents: m agents stacked on one node start as a
+  // linked chain of m unit domains (the paper's nu_i(0) = 1 convention;
+  // unit sizes keep the fixed-step RK4 well inside its stability region).
+  // The chain's initial span counts as covered — a continuum-limit blur
+  // of the single discrete start node, gone by t ~ m.
+  std::uint32_t i = 0;
+  std::uint32_t groups = 0;
+  std::vector<std::uint32_t> group_last;  // last domain index of each group
+  std::vector<std::uint32_t> group_size;
+  while (i < k) {
+    std::uint32_t j = i;
+    while (j < k && anchor_[j] == anchor_[i]) ++j;
+    const double lo = static_cast<double>(anchor_[i]) - 0.5;
+    for (std::uint32_t d = i; d < j; ++d) {
+      edge_left_[d] = lo + static_cast<double>(d - i);
+      edge_right_[d] = lo + static_cast<double>(d - i + 1);
+      if (d + 1 < j) linked_[d] = 1;  // intra-group borders exist already
+      mark_covered(static_cast<std::int64_t>(anchor_[i]) + (d - i), d);
+    }
+    group_last.push_back(j - 1);
+    group_size.push_back(j - i);
+    ++groups;
+    i = j;
+  }
+  // Ring gaps between consecutive groups (unexplored arc lengths; a
+  // stacked chain's span may already overlap its neighbor — the link
+  // logic below absorbs the overlap).
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    const std::uint32_t d = group_last[g];
+    const NodeId a = anchor_[d];
+    const NodeId b = anchor_[(d + 1) % k];
+    const double distance =
+        groups == 1 ? static_cast<double>(n_)
+                    : static_cast<double>((b + n_ - a) % n_);
+    gap_[d] = distance - static_cast<double>(group_size[g]);
+  }
+  link_where_gaps_closed();  // adjacent / overlapping groups touch at t = 0
+}
+
+void ContinuousDomainEngine::round(const sim::DelayFn* delay) {
+  ++time_;
+  const std::uint32_t k = num_agents();
+  if (delay) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      held_[i] = (*delay)(anchor_[i], time_, 1) > 0 ? 1 : 0;
+    }
+  } else {
+    std::fill(held_.begin(), held_.end(), std::uint8_t{0});
+  }
+
+  prevl_ = edge_left_;   // round-start snapshot for crossing detection
+  prevr_ = edge_right_;  // (member scratch: no per-round allocation)
+  const double h = 1.0 / substeps_;
+  for (std::uint32_t s = 0; s < substeps_; ++s) {
+    // RK4 stability guard: the system's stiffness grows like 1/nu_min^2
+    // (rates are 1/nu), so a substep that would leave the stability
+    // region is subdivided. Unit initial sizes keep parts == 1 in normal
+    // runs; shaved domains after an overlap-heavy start need finer steps.
+    double nu_min = 1.0;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      nu_min = std::min(nu_min, edge_right_[i] - edge_left_[i]);
+    }
+    std::uint32_t parts = 1;
+    if (nu_min < 1.0) {
+      const double safe = 0.2 * std::max(nu_min, 1.0 / 64) *
+                          std::max(nu_min, 1.0 / 64);
+      parts = static_cast<std::uint32_t>(
+          std::min(4096.0, std::ceil(h / safe)));
+      if (parts == 0) parts = 1;
+    }
+    const double hh = h / parts;
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      tmpl_ = edge_left_;   // part-start snapshot (gap/integral updates)
+      tmpr_ = edge_right_;
+      rk4_substep(hh);
+      for (std::uint32_t i = 0; i < k; ++i) {
+        // Trapezoidal \int dt / nu_i over the part (0 while held).
+        if (!held_[i]) {
+          const double nu0 = std::max(tmpr_[i] - tmpl_[i], kMinDomain);
+          const double nu1 =
+              std::max(edge_right_[i] - edge_left_[i], kMinDomain);
+          integral_[i] += hh * 0.5 * (1.0 / nu0 + 1.0 / nu1);
+        }
+        if (!linked_[i]) {
+          const std::uint32_t nxt = (i + 1) % k;
+          gap_[i] +=
+              (edge_left_[nxt] - tmpl_[nxt]) - (edge_right_[i] - tmpr_[i]);
+        }
+      }
+      link_where_gaps_closed();
+    }
+  }
+  process_crossings(prevl_, prevr_);
+}
+
+void ContinuousDomainEngine::edge_derivatives(const std::vector<double>& left,
+                                              const std::vector<double>& right,
+                                              std::vector<double>& d_left,
+                                              std::vector<double>& d_right) const {
+  // A domain never shrinks below one node: discretely the agent still
+  // occupies (and defends) a node, so a linked border stalls instead of
+  // squeezing its loser through zero — without this, holding an agent
+  // (Sec. 2.1 delays) lets neighbors pinch its domain negative and the
+  // 1/nu rate blows up on release.
+  constexpr double kPinch = 1.0;
+  const std::uint32_t k = num_agents();
+  d_left.resize(k);
+  d_right.resize(k);
+  // Sweep rates: an agent in a domain of size nu visits each border once
+  // per 2 nu rounds; a held agent exerts (and feels) no pressure.
+  auto rate = [&](std::uint32_t i) {
+    if (held_[i]) return 0.0;
+    return 1.0 / std::max(right[i] - left[i], kMinDomain);
+  };
+  // One velocity per boundary object, written to every stored copy so
+  // linked edges stay exactly in sync through the RK4 stages.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::uint32_t nxt = (i + 1) % k;
+    if (linked_[i]) {
+      double v = 0.5 * (rate(i) - rate(nxt));
+      if (v > 0.0 && right[nxt] - left[nxt] <= kPinch) v = 0.0;
+      if (v < 0.0 && right[i] - left[i] <= kPinch) v = 0.0;
+      d_right[i] = v;
+      d_left[nxt] = v;
+    } else {
+      // Free edges grow into unexplored territory.
+      d_right[i] = 0.5 * rate(i);
+      d_left[nxt] = -0.5 * rate(nxt);
+    }
+  }
+}
+
+void ContinuousDomainEngine::rk4_substep(double h) {
+  const std::uint32_t k = num_agents();
+  edge_derivatives(edge_left_, edge_right_, k1l_, k1r_);
+  std::vector<double>& sl = sl_;  // stage-state scratch
+  std::vector<double>& sr = sr_;
+  sl.resize(k);
+  sr.resize(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    sl[i] = edge_left_[i] + 0.5 * h * k1l_[i];
+    sr[i] = edge_right_[i] + 0.5 * h * k1r_[i];
+  }
+  edge_derivatives(sl, sr, k2l_, k2r_);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    sl[i] = edge_left_[i] + 0.5 * h * k2l_[i];
+    sr[i] = edge_right_[i] + 0.5 * h * k2r_[i];
+  }
+  edge_derivatives(sl, sr, k3l_, k3r_);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    sl[i] = edge_left_[i] + h * k3l_[i];
+    sr[i] = edge_right_[i] + h * k3r_[i];
+  }
+  edge_derivatives(sl, sr, k4l_, k4r_);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    edge_left_[i] +=
+        h / 6.0 * (k1l_[i] + 2.0 * k2l_[i] + 2.0 * k3l_[i] + k4l_[i]);
+    edge_right_[i] +=
+        h / 6.0 * (k1r_[i] + 2.0 * k2r_[i] + 2.0 * k3r_[i] + k4r_[i]);
+  }
+}
+
+void ContinuousDomainEngine::link_where_gaps_closed() {
+  constexpr double kMinLinkSize = 0.125;  // neither side shaved to nothing
+  const std::uint32_t k = num_agents();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    if (linked_[i] || gap_[i] > 0.0) continue;
+    // The edges met. Any overshoot is shaved off the two meeting domains
+    // (evenly when both have room) so the border lands where they
+    // actually touched; overlapping stacked-start chains can carry a
+    // larger overshoot, absorbed proportionally.
+    const double overshoot = -gap_[i];
+    const std::uint32_t nxt = (i + 1) % k;
+    const double room_i =
+        std::max(edge_right_[i] - edge_left_[i] - kMinLinkSize, 0.0);
+    const double room_n =
+        std::max(edge_right_[nxt] - edge_left_[nxt] - kMinLinkSize, 0.0);
+    const double shave_i = std::min(0.5 * overshoot, room_i);
+    const double shave_n = std::min(overshoot - shave_i, room_n);
+    edge_right_[i] -= shave_i;
+    edge_left_[nxt] += shave_n;
+    gap_[i] = 0.0;
+    linked_[i] = 1;
+    // Claim the seam: two edges can converge onto a node coordinate from
+    // both sides without either ever crossing it (and once linked, the
+    // border may sit in equilibrium exactly there forever) — so the
+    // integers straddling the meeting point are marked now, as long as
+    // they lie inside the merged chain's span.
+    const double border = edge_right_[i];
+    const std::int64_t below = static_cast<std::int64_t>(std::floor(border));
+    if (static_cast<double>(below) >= edge_left_[i]) {
+      mark_covered(below, i);
+    }
+    // The next domain's frame may be offset by a multiple of n; translate
+    // the integer above the border through its border coordinate.
+    const double above_in_next =
+        edge_left_[nxt] + (static_cast<double>(below + 1) - border);
+    if (above_in_next <= edge_right_[nxt]) {
+      mark_covered(below + 1, nxt);
+    }
+  }
+}
+
+void ContinuousDomainEngine::process_crossings(
+    const std::vector<double>& prev_left,
+    const std::vector<double>& prev_right) {
+  const std::uint32_t k = num_agents();
+  // Each domain claims the integer coordinates its own edges passed
+  // outward over this round: fresh territory is marked covered, nodes on
+  // the losing side of a linked border are reassigned. Loops are bounded
+  // by n + 2 as a belt against corrupt (but finite) checkpoint state.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    std::int64_t lo = static_cast<std::int64_t>(std::floor(prev_right[i])) + 1;
+    const std::int64_t hi =
+        static_cast<std::int64_t>(std::floor(edge_right_[i]));
+    if (hi - lo >= static_cast<std::int64_t>(n_) + 2) {
+      lo = hi - static_cast<std::int64_t>(n_) - 1;
+    }
+    for (std::int64_t j = lo; j <= hi; ++j) {
+      const NodeId v = wrap(j);
+      if (first_visit_[v] == sim::kNotCovered) {
+        mark_covered(j, i);
+      } else if (dom_[v] != i) {
+        reassign(j, dom_[v], i);
+      }
+    }
+    std::int64_t lhi = static_cast<std::int64_t>(std::ceil(prev_left[i])) - 1;
+    const std::int64_t llo =
+        static_cast<std::int64_t>(std::ceil(edge_left_[i]));
+    if (lhi - llo >= static_cast<std::int64_t>(n_) + 2) {
+      lhi = llo + static_cast<std::int64_t>(n_) + 1;
+    }
+    for (std::int64_t j = lhi; j >= llo; --j) {
+      const NodeId v = wrap(j);
+      if (first_visit_[v] == sim::kNotCovered) {
+        mark_covered(j, i);
+      } else if (dom_[v] != i) {
+        reassign(j, dom_[v], i);
+      }
+    }
+  }
+}
+
+void ContinuousDomainEngine::mark_covered(std::int64_t coordinate,
+                                          std::uint32_t domain) {
+  const NodeId v = wrap(coordinate);
+  if (first_visit_[v] != sim::kNotCovered) return;
+  first_visit_[v] = time_;
+  dom_[v] = domain;
+  base_[v] = 1.0 - integral_[domain];  // the first visit counts 1
+  ++covered_;
+}
+
+void ContinuousDomainEngine::reassign(std::int64_t coordinate,
+                                      std::uint32_t from, std::uint32_t to) {
+  const NodeId v = wrap(coordinate);
+  base_[v] += integral_[from] - integral_[to];  // visits(v) is continuous
+  dom_[v] = to;
+}
+
+sim::NodeId ContinuousDomainEngine::wrap(std::int64_t coordinate) const {
+  const std::int64_t n = static_cast<std::int64_t>(n_);
+  return static_cast<NodeId>(((coordinate % n) + n) % n);
+}
+
+std::uint64_t ContinuousDomainEngine::visits(NodeId v) const {
+  if (first_visit_[v] == sim::kNotCovered) return 0;
+  const double value = base_[v] + integral_[dom_[v]];
+  const long long rounded = std::llround(value);
+  return rounded < 1 ? 1 : static_cast<std::uint64_t>(rounded);
+}
+
+std::vector<double> ContinuousDomainEngine::sizes() const {
+  std::vector<double> out(num_agents());
+  for (std::uint32_t i = 0; i < out.size(); ++i) {
+    out[i] = edge_right_[i] - edge_left_[i];
+  }
+  return out;
+}
+
+double ContinuousDomainEngine::total() const {
+  double t = 0.0;
+  for (std::uint32_t i = 0; i < num_agents(); ++i) {
+    t += edge_right_[i] - edge_left_[i];
+  }
+  return t;
+}
+
+bool ContinuousDomainEngine::cyclic() const {
+  return std::all_of(linked_.begin(), linked_.end(),
+                     [](std::uint8_t l) { return l != 0; });
+}
+
+std::uint64_t ContinuousDomainEngine::config_hash() const {
+  Fnv1a h;
+  h.mix(n_);
+  h.mix(num_agents());
+  for (std::uint32_t i = 0; i < num_agents(); ++i) {
+    h.mix(bits_of(edge_left_[i]));
+    h.mix(bits_of(edge_right_[i]));
+    h.mix(linked_[i]);
+  }
+  return h.value();
+}
+
+void ContinuousDomainEngine::serialize_state(sim::StateWriter& out) const {
+  out.field_u64("time", time_);
+  out.field_u64("substeps", substeps_);
+  out.field_list("anchors", anchor_);
+  out.field_list("edge_left_bits", to_bits(edge_left_));
+  out.field_list("edge_right_bits", to_bits(edge_right_));
+  out.field_list("gap_bits", to_bits(gap_));
+  out.field_list("integral_bits", to_bits(integral_));
+  out.field_bits("linked", linked_);
+  out.field_list("first_visit", first_visit_);
+  std::vector<std::uint64_t> dom(dom_.begin(), dom_.end());
+  out.field_list("dom", dom);
+  out.field_list("base_bits", to_bits(base_));
+}
+
+bool ContinuousDomainEngine::deserialize_state(const sim::StateReader& in) {
+  const auto time = in.u64("time");
+  const auto substeps = in.u64("substeps");
+  const auto anchors = in.u64_list("anchors");
+  if (!time || !substeps || !anchors) return false;
+  if (*substeps < 1 || *substeps > 1024) return false;
+  const std::size_t k = anchors->size();
+  if (k < 1 || k > n_) return false;
+  for (std::size_t i = 0; i < k; ++i) {
+    if ((*anchors)[i] >= n_) return false;
+    if (i > 0 && (*anchors)[i] < (*anchors)[i - 1]) return false;
+  }
+  const auto left = in.u64_list("edge_left_bits", k);
+  const auto right = in.u64_list("edge_right_bits", k);
+  const auto gap = in.u64_list("gap_bits", k);
+  const auto integral = in.u64_list("integral_bits", k);
+  const auto linked = in.bits("linked", k);
+  const auto first_visit = in.u64_list("first_visit", n_);
+  const auto dom = in.u64_list("dom", n_);
+  const auto base = in.u64_list("base_bits", n_);
+  if (!left || !right || !gap || !integral || !linked || !first_visit ||
+      !dom || !base) {
+    return false;
+  }
+  // The geometry must be sane enough that stepping stays finite and the
+  // crossing loops stay bounded: finite edges within a generous multiple
+  // of the ring, positive domain sizes, non-negative gaps. The time
+  // contribution (borders can common-mode drift under adversarial hold
+  // schedules, at well under a node per round) is capped so a crafted
+  // time field cannot push accepted coordinates past what the
+  // float->int64 casts in process_crossings can represent.
+  const double bound = 16.0 * static_cast<double>(n_) + 64.0 +
+                       std::min(static_cast<double>(*time), 1e12);
+  std::vector<double> el(k), er(k), gp(k), ig(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    el[i] = double_of((*left)[i]);
+    er[i] = double_of((*right)[i]);
+    gp[i] = double_of((*gap)[i]);
+    ig[i] = double_of((*integral)[i]);
+    if (!std::isfinite(el[i]) || !std::isfinite(er[i]) ||
+        !std::isfinite(gp[i]) || !std::isfinite(ig[i])) {
+      return false;
+    }
+    if (std::abs(el[i]) > bound || std::abs(er[i]) > bound ||
+        gp[i] > bound || ig[i] > bound) {
+      return false;
+    }
+    if (er[i] - el[i] <= 0.0 || gp[i] < 0.0 || ig[i] < 0.0) return false;
+  }
+  NodeId covered = 0;
+  std::vector<double> bs(n_);
+  for (NodeId v = 0; v < n_; ++v) {
+    bs[v] = double_of((*base)[v]);
+    const bool seen = (*first_visit)[v] != sim::kStateSentinel;
+    if (seen) {
+      if ((*first_visit)[v] > *time) return false;
+      if ((*dom)[v] >= k) return false;
+      if (!std::isfinite(bs[v]) || std::abs(bs[v]) > bound) return false;
+      ++covered;
+    }
+  }
+  time_ = *time;
+  substeps_ = static_cast<std::uint32_t>(*substeps);
+  anchor_.assign(anchors->begin(), anchors->end());
+  edge_left_ = std::move(el);
+  edge_right_ = std::move(er);
+  gap_ = std::move(gp);
+  integral_ = std::move(ig);
+  linked_ = *linked;
+  held_.assign(k, 0);
+  first_visit_ = *first_visit;
+  dom_.assign(dom->begin(), dom->end());
+  base_ = std::move(bs);
+  covered_ = covered;
+  return true;
+}
+
+}  // namespace rr::analysis

@@ -1,0 +1,144 @@
+#pragma once
+
+// Continuous domain-dynamics engine (paper Sec. 2.3, as a sim::Engine).
+//
+// The paper's third view of the ring dynamics is the ODE
+//
+//   d nu_i / dt = 1/nu_i - 1/(2 nu_{i-1}) - 1/(2 nu_{i+1}),
+//
+// for the k domain sizes nu_i, with unexplored territory acting as an
+// infinite neighbor (no pressure term) and cyclic coupling once the ring
+// is covered. analysis/ode.hpp integrates that system on bare size
+// vectors; this engine adapts the same RK4 model to the sim::Engine
+// clock so the continuum limit can be driven, checkpointed, traced, and
+// differential-gated like any discrete backend:
+//
+//   - round <-> dt mapping: one step() advances model time by exactly
+//     1.0 (the discrete system moves every agent one arc per round and
+//     the ODE's unit time is calibrated to that — the single-domain
+//     uncovered model covers n/k nodes at t = (n/k)^2/2, matching the
+//     discrete negative-pointer system within a percent), integrated in
+//     `substeps` RK4 sub-intervals;
+//
+//   - geometry: each domain is a real interval on the ring, anchored at
+//     its agent's start node. Domains grow into unexplored territory at
+//     rate 1/(2 nu) per free edge, neighboring domains link when their
+//     edges meet, and linked borders move by visit-frequency exchange
+//     (velocity (1/nu_left - 1/nu_right)/2) — the covered limit is the
+//     fully-linked cyclic system whose stationary profile is flat;
+//
+//   - observers: covered_count()/first_visit_time() are exact integer
+//     node crossings of the moving edges; visits(v) is the *integrated
+//     domain occupancy* round(1 + \int dt / nu_{d(v)}) — an agent
+//     sweeping a domain of size nu visits each of its nodes once per nu
+//     rounds — with per-node baselines preserved across border
+//     reassignments, so visits stay exact under domain exchange;
+//
+//   - delays (Sec. 2.1): D(v, t, 1) is sampled once per round at each
+//     domain's anchor node; a held domain's sweep rate 1/nu_i drops to 0
+//     for the round (it neither grows nor presses on its neighbors).
+//
+// The model is a continuum approximation, not a bit-level twin of the
+// discrete engines: its gate (tests/continuous_engine_test.cpp) asserts
+// convergence — covered-limit domain sizes flat and within the discrete
+// system's Lemma-12 ripple, cover times within a few percent, sqrt(t)
+// exploration growth — rather than lockstep equality. Valid on ring
+// substrates only (the registry enforces this).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "sim/engine.hpp"
+#include "sim/state_io.hpp"
+
+namespace rr::analysis {
+
+class ContinuousDomainEngine final : public sim::Engine, public sim::StateIO {
+ public:
+  /// Ring of `n` nodes, one unit-size domain per agent (the paper's
+  /// nu_i(0) = 1 convention; co-located agents start as a linked chain
+  /// whose span counts as covered — a continuum blur gone by t ~ k).
+  /// `substeps` RK4 sub-intervals integrate each round; 4 keeps the
+  /// trajectory well inside the stability region at sizes >= 1, and
+  /// stiffer states subdivide automatically.
+  ContinuousDomainEngine(sim::NodeId n, std::vector<sim::NodeId> agents,
+                         std::uint32_t substeps = 4);
+
+  void step() override { round(nullptr); }
+
+  std::uint64_t time() const override { return time_; }
+  sim::NodeId num_nodes() const override { return n_; }
+  std::uint32_t num_agents() const override {
+    return static_cast<std::uint32_t>(anchor_.size());
+  }
+
+  std::uint64_t visits(sim::NodeId v) const override;
+  std::uint64_t first_visit_time(sim::NodeId v) const override {
+    return first_visit_[v];
+  }
+  sim::NodeId covered_count() const override { return covered_; }
+
+  /// Current domain sizes nu_1..nu_k (model units = ring nodes).
+  std::vector<double> sizes() const;
+  /// Total covered length sum nu_i (<= n once fully linked).
+  double total() const;
+  /// True once every neighboring pair of domains has linked (the covered
+  /// limit: the cyclic system of the paper's Sec. 2.3).
+  bool cyclic() const;
+  /// The anchor node of domain `i` (its agent's start; delay sample site).
+  sim::NodeId anchor(std::uint32_t i) const { return anchor_[i]; }
+
+  std::uint64_t config_hash() const override;
+  const char* engine_name() const override { return "continuous-domain"; }
+
+  /// Full dynamical state, doubles serialized as IEEE-754 bit patterns so
+  /// a resumed trajectory is bit-identical to an uninterrupted one.
+  void serialize_state(sim::StateWriter& out) const override;
+  [[nodiscard]] bool deserialize_state(const sim::StateReader& in) override;
+
+ private:
+  void do_step_delayed(const sim::DelayFn& delay) override { round(&delay); }
+
+  void round(const sim::DelayFn* delay);
+  void rk4_substep(double h);
+  /// d(edge)/dt for every stored edge under the current held mask; linked
+  /// borders get the identical velocity on both stored copies.
+  void edge_derivatives(const std::vector<double>& left,
+                        const std::vector<double>& right,
+                        std::vector<double>& d_left,
+                        std::vector<double>& d_right) const;
+  void link_where_gaps_closed();
+  void process_crossings(const std::vector<double>& prev_left,
+                         const std::vector<double>& prev_right);
+  void mark_covered(std::int64_t coordinate, std::uint32_t domain);
+  void reassign(std::int64_t coordinate, std::uint32_t from, std::uint32_t to);
+  sim::NodeId wrap(std::int64_t coordinate) const;
+
+  sim::NodeId n_ = 0;
+  std::uint32_t substeps_ = 4;
+  std::uint64_t time_ = 0;
+  sim::NodeId covered_ = 0;
+
+  // Per-domain state, in cyclic ring order of the (sorted) agent starts.
+  std::vector<sim::NodeId> anchor_;   // agent start node of domain i
+  std::vector<double> edge_left_;     // left edge position (unwrapped real)
+  std::vector<double> edge_right_;    // right edge position (unwrapped real)
+  std::vector<double> gap_;           // ring distance to domain i+1 (unlinked)
+  std::vector<std::uint8_t> linked_;  // 1 = border with domain (i+1)%k exists
+  std::vector<double> integral_;      // cumulative \int dt / nu_i
+  std::vector<std::uint8_t> held_;    // this round's delay mask
+
+  // Per-node observers.
+  std::vector<std::uint64_t> first_visit_;
+  std::vector<std::uint32_t> dom_;   // owning domain (valid once covered)
+  std::vector<double> base_;         // visits(v) = base_[v] + integral_[dom]
+
+  // RK4 scratch (kept across rounds to avoid per-step allocation).
+  std::vector<double> k1l_, k1r_, k2l_, k2r_, k3l_, k3r_, k4l_, k4r_;
+  std::vector<double> sl_, sr_;        // RK4 stage state
+  std::vector<double> tmpl_, tmpr_;    // substep-start edge snapshot
+  std::vector<double> prevl_, prevr_;  // round-start edge snapshot
+};
+
+}  // namespace rr::analysis

@@ -1,0 +1,232 @@
+#include "core/eulerian_rotor_router.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "core/rotor_router.hpp"
+#include "sim/limit_cycle.hpp"
+
+namespace rr::core {
+
+using graph::Arc;
+using graph::NodeId;
+
+EulerianRotorRouter::EulerianRotorRouter(const graph::Graph& g,
+                                         const std::vector<NodeId>& agents)
+    : csr_(g) {
+  RR_REQUIRE(!agents.empty(), "need at least one token");
+  for (NodeId a : agents) RR_REQUIRE(a < g.num_nodes(), "agent out of range");
+  circuit_ = graph::eulerian_circuit(g, agents.front());
+  RR_REQUIRE(index_circuit(), "Hierholzer circuit failed verification");
+  // A node of degree d is the tail of d circuit offsets; co-located
+  // agents take *successive* occurrences (cycling if there are more
+  // agents than ports), so stacked tokens leave along distinct arcs
+  // instead of collapsing into one trajectory — mirroring how co-located
+  // rotor agents exit through distinct ports.
+  std::vector<std::uint32_t> slot(csr_.num_nodes(), ~std::uint32_t{0});
+  std::uint32_t slots = 0;
+  for (NodeId a : agents) {
+    if (slot[a] == ~std::uint32_t{0}) slot[a] = slots++;
+  }
+  std::vector<std::vector<std::uint64_t>> occurrences(slots);
+  for (std::uint64_t i = 0; i < circuit_.size(); ++i) {
+    const NodeId tail = circuit_[i].tail;
+    if (slot[tail] != ~std::uint32_t{0}) {
+      occurrences[slot[tail]].push_back(i);
+    }
+  }
+  std::vector<std::uint32_t> used(slots, 0);
+  tokens_.reserve(agents.size());
+  for (NodeId a : agents) {
+    const auto& occ = occurrences[slot[a]];
+    tokens_.push_back(occ[used[slot[a]]++ % occ.size()]);
+  }
+  reset_visits_from_tokens();
+}
+
+EulerianRotorRouter::EulerianRotorRouter(const graph::Graph& g,
+                                         std::vector<Arc> circuit,
+                                         std::vector<std::uint64_t> tokens)
+    : csr_(g), circuit_(std::move(circuit)), tokens_(std::move(tokens)) {
+  RR_REQUIRE(index_circuit(), "not an Eulerian circuit of this graph");
+  RR_REQUIRE(!tokens_.empty(), "need at least one token");
+  for (std::uint64_t o : tokens_) {
+    RR_REQUIRE(o < circuit_.size(), "token offset out of range");
+  }
+  reset_visits_from_tokens();
+}
+
+bool EulerianRotorRouter::index_circuit() {
+  const std::size_t arcs = csr_.num_arcs();
+  if (arcs == 0 || circuit_.size() != arcs) return false;
+  std::vector<std::size_t> offset(csr_.num_nodes() + 1, 0);
+  for (NodeId v = 0; v < csr_.num_nodes(); ++v) {
+    offset[v + 1] = offset[v] + csr_.degree(v);
+  }
+  std::vector<std::uint8_t> used(arcs, 0);
+  for (std::size_t i = 0; i < circuit_.size(); ++i) {
+    const Arc& a = circuit_[i];
+    if (a.tail >= csr_.num_nodes() || a.port >= csr_.degree(a.tail)) {
+      return false;
+    }
+    const std::size_t id = offset[a.tail] + a.port;
+    if (used[id]) return false;
+    used[id] = 1;
+    const Arc& next = circuit_[(i + 1) % circuit_.size()];
+    if (csr_.neighbor(a.tail, a.port) != next.tail) return false;
+  }
+  node_at_.resize(circuit_.size());
+  for (std::size_t i = 0; i < circuit_.size(); ++i) {
+    node_at_[i] = circuit_[i].tail;
+  }
+  return true;
+}
+
+void EulerianRotorRouter::reset_visits_from_tokens() {
+  const NodeId n = csr_.num_nodes();
+  visits_.assign(n, 0);
+  first_visit_.assign(n, sim::kNotCovered);
+  present_.assign(n, 0);
+  hold_left_.assign(n, 0);
+  touched_.clear();
+  covered_ = 0;
+  time_ = 0;
+  for (std::uint64_t o : tokens_) {
+    const NodeId v = node_at_[o];
+    ++visits_[v];
+    if (first_visit_[v] == sim::kNotCovered) {
+      first_visit_[v] = 0;
+      ++covered_;
+    }
+  }
+}
+
+void EulerianRotorRouter::arrive(NodeId u) {
+  ++visits_[u];
+  if (first_visit_[u] == sim::kNotCovered) {
+    first_visit_[u] = time_;
+    ++covered_;
+  }
+}
+
+std::vector<NodeId> EulerianRotorRouter::agent_positions() const {
+  std::vector<NodeId> out;
+  out.reserve(tokens_.size());
+  for (std::uint64_t o : tokens_) out.push_back(node_at_[o]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t EulerianRotorRouter::config_hash() const {
+  std::vector<std::uint64_t> sorted = tokens_;
+  std::sort(sorted.begin(), sorted.end());
+  Fnv1a h;
+  h.mix(circuit_.size());
+  for (std::uint64_t o : sorted) h.mix(o);
+  return h.value();
+}
+
+void EulerianRotorRouter::serialize_state(sim::StateWriter& out) const {
+  out.field_u64("time", time_);
+  out.field_u64("circuit_start", circuit_.front().tail);
+  std::vector<std::uint64_t> ports(circuit_.size());
+  for (std::size_t i = 0; i < circuit_.size(); ++i) ports[i] = circuit_[i].port;
+  out.field_list("circuit_ports", ports);
+  out.field_list("tokens", tokens_);
+  out.field_list("visits", visits_);
+  out.field_list("first_visit", first_visit_);
+}
+
+bool EulerianRotorRouter::deserialize_state(const sim::StateReader& in) {
+  const NodeId n = csr_.num_nodes();
+  const std::size_t arcs = csr_.num_arcs();
+  const auto time = in.u64("time");
+  const auto start = in.u64("circuit_start");
+  const auto ports = in.u64_list("circuit_ports", arcs);
+  const auto tokens = in.u64_list("tokens");
+  const auto visits = in.u64_list("visits", n);
+  const auto first_visit = in.u64_list("first_visit", n);
+  if (!time || !start || !ports || !tokens || !visits || !first_visit) {
+    return false;
+  }
+  if (*start >= n || tokens->empty()) return false;
+  // Re-chain the circuit tails from the start node through the ports.
+  std::vector<Arc> circuit(arcs);
+  NodeId tail = static_cast<NodeId>(*start);
+  for (std::size_t i = 0; i < arcs; ++i) {
+    const std::uint64_t port = (*ports)[i];
+    if (port >= csr_.degree(tail)) return false;
+    circuit[i] = Arc{tail, static_cast<std::uint32_t>(port)};
+    tail = csr_.neighbor(tail, static_cast<std::uint32_t>(port));
+  }
+  if (tail != static_cast<NodeId>(*start)) return false;  // must close
+  circuit_ = std::move(circuit);
+  if (!index_circuit()) return false;
+  for (std::uint64_t o : *tokens) {
+    if (o >= circuit_.size()) return false;
+  }
+  // Visit-statistic consistency: a node is covered iff it was ever
+  // visited, first visits never post-date the clock, and every token
+  // stands on a covered node.
+  NodeId covered = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const bool seen = (*first_visit)[v] != sim::kStateSentinel;
+    if (seen != ((*visits)[v] > 0)) return false;
+    if (seen) {
+      if ((*first_visit)[v] > *time) return false;
+      ++covered;
+    }
+  }
+  for (std::uint64_t o : *tokens) {
+    if ((*first_visit)[node_at_[o]] == sim::kStateSentinel) return false;
+  }
+  time_ = *time;
+  tokens_ = *tokens;
+  visits_ = *visits;
+  first_visit_ = *first_visit;
+  covered_ = covered;
+  present_.assign(n, 0);
+  hold_left_.assign(n, 0);
+  touched_.clear();
+  return true;
+}
+
+EulerianLockIn eulerian_from_lock_in(const graph::Graph& g, NodeId start,
+                                     std::vector<std::uint32_t> pointers,
+                                     std::uint64_t max_steps) {
+  RR_REQUIRE(g.num_edges() > 0, "lock-in needs at least one edge");
+  RR_REQUIRE(g.is_connected(), "lock-in requires a connected graph");
+  RR_REQUIRE(start < g.num_nodes(), "start out of range");
+  const std::uint64_t lap = g.num_arcs();
+  if (max_steps == 0) {
+    max_steps = 4ULL * g.diameter() * g.num_edges() + 4ULL * lap + 64;
+  }
+
+  EulerianLockIn out;
+  out.rotor = std::make_unique<RotorRouter>(
+      g, std::vector<NodeId>{start}, std::move(pointers));
+  const auto cycle = sim::detect_hash_cycle(*out.rotor, max_steps);
+  if (!cycle) return out;
+  out.detected_at = cycle->detected_at;
+  out.period = cycle->period;
+
+  // The rotor is provably inside its limit cycle; one lap of 2|E| rounds
+  // reads off the locked-in circuit (the single agent's position is the
+  // unique occupied node, its pointer the arc it traverses next), and by
+  // periodicity leaves the rotor in the configuration it started the lap
+  // with — i.e. standing on the circuit's first tail.
+  std::vector<Arc> circuit;
+  circuit.reserve(lap);
+  for (std::uint64_t i = 0; i < lap; ++i) {
+    const NodeId pos = out.rotor->occupied_nodes().front();
+    circuit.push_back(Arc{pos, out.rotor->pointer(pos)});
+    out.rotor->step();
+  }
+  if (!graph::is_eulerian_circuit(g, circuit)) return out;  // hash collision
+  out.engine = std::make_unique<EulerianRotorRouter>(
+      g, std::move(circuit), std::vector<std::uint64_t>{0});
+  out.locked_in = true;
+  return out;
+}
+
+}  // namespace rr::core

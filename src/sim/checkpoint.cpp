@@ -8,12 +8,8 @@
 #endif
 
 #include "common/require.hpp"
-#include "core/lazy_ring_rotor_router.hpp"
-#include "core/ring_rotor_router.hpp"
-#include "core/rotor_router.hpp"
-#include "core/sharded_rotor_router.hpp"
 #include "graph/descriptor.hpp"
-#include "walk/random_walk.hpp"
+#include "sim/registry.hpp"
 
 namespace rr::sim {
 
@@ -21,14 +17,6 @@ namespace {
 
 constexpr const char* kEnginePrefix = " engine=";
 constexpr const char* kGraphPrefix = " graph=";
-
-/// The ring engines only run on graph::ring(n); extracts n from a
-/// "ring <n>" descriptor (nullopt for any other substrate).
-std::optional<NodeId> ring_size(const std::string& descriptor) {
-  const auto d = graph::GraphDescriptor::parse(descriptor);
-  if (!d || d->kind != "ring") return std::nullopt;
-  return d->num_nodes();
-}
 
 }  // namespace
 
@@ -85,39 +73,7 @@ std::optional<ParsedCheckpoint> parse_checkpoint(const std::string& text) {
 }
 
 std::unique_ptr<Engine> restore_checkpoint(const ParsedCheckpoint& parsed) {
-  if (parsed.engine == "ring-rotor-router" ||
-      parsed.engine == "lazy-ring-rotor-router") {
-    const auto n = ring_size(parsed.graph_descriptor);
-    if (!n) return nullptr;
-    if (parsed.engine == "ring-rotor-router") {
-      auto engine = std::make_unique<core::RingRotorRouter>(
-          *n, std::vector<core::NodeId>{0});
-      if (!engine->deserialize_state(parsed.state)) return nullptr;
-      return engine;
-    }
-    auto engine = std::make_unique<core::LazyRingRotorRouter>(
-        *n, std::vector<core::NodeId>{0});
-    if (!engine->deserialize_state(parsed.state)) return nullptr;
-    return engine;
-  }
-
-  if (parsed.engine == "rotor-router" || parsed.engine == "random-walks") {
-    const auto g = graph::graph_from_descriptor(parsed.graph_descriptor);
-    if (!g) return nullptr;
-    if (parsed.engine == "rotor-router") {
-      auto engine = std::make_unique<core::RotorRouter>(
-          *g, std::vector<graph::NodeId>{0});
-      if (!engine->deserialize_state(parsed.state)) return nullptr;
-      return engine;
-    }
-    if (g->degree(0) == 0) return nullptr;  // placeholder walker needs an edge
-    auto engine = std::make_unique<walk::GraphRandomWalks>(
-        *g, std::vector<graph::NodeId>{0}, /*seed=*/1);
-    if (!engine->deserialize_state(parsed.state)) return nullptr;
-    return engine;
-  }
-
-  return nullptr;
+  return restore_checkpoint_sharded(parsed, /*shards=*/1);
 }
 
 std::unique_ptr<Engine> restore_checkpoint(const std::string& text) {
@@ -128,16 +84,17 @@ std::unique_ptr<Engine> restore_checkpoint(const std::string& text) {
 
 std::unique_ptr<Engine> restore_checkpoint_sharded(
     const ParsedCheckpoint& parsed, std::uint32_t shards, ThreadPool* pool) {
-  if (shards <= 1 || parsed.engine != "rotor-router") {
-    return restore_checkpoint(parsed);
-  }
-  const auto g = graph::graph_from_descriptor(parsed.graph_descriptor);
-  if (!g) return nullptr;
-  auto engine = std::make_unique<core::ShardedRotorRouter>(
-      *g, std::vector<graph::NodeId>{0}, std::vector<std::uint32_t>{},
-      shards, pool);
-  if (!engine->deserialize_state(parsed.state)) return nullptr;
-  return engine;
+  const auto d = graph::GraphDescriptor::parse(parsed.graph_descriptor);
+  if (!d) return nullptr;
+  // The registry resolves the backend and validates the substrate; each
+  // spec's restore hook rebuilds the engine from the state body. A shard
+  // request is passed through as an execution choice — specs that do not
+  // support sharding ignore it (callers warn; see rr_cli).
+  EngineConfig config;
+  config.shards = shards;
+  config.pool = pool;
+  return EngineRegistry::instance().restore(parsed.engine, *d, parsed.state,
+                                            config);
 }
 
 bool save_checkpoint_file(const std::string& path, const std::string& text) {

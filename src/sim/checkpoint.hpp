@@ -15,8 +15,11 @@
 // The header names the engine backend (sim::Engine::engine_name) and the
 // substrate (graph/descriptor.hpp), making the document sufficient to
 // reconstruct the run with no out-of-band knowledge: restore_checkpoint
-// rebuilds the graph from the descriptor, instantiates the named backend,
-// and hands the body to the engine's StateIO::deserialize_state.
+// resolves the backend through sim::EngineRegistry (sim/registry.hpp),
+// which validates the substrate and invokes the spec's restore hook —
+// rebuild the graph from the descriptor, instantiate the engine, hand
+// the body to its StateIO::deserialize_state. This layer knows no
+// backend by name.
 //
 // Correctness contract (enforced by the differential harness's
 // save→load→continue lane): for every backend, a run checkpointed at any

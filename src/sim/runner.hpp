@@ -91,6 +91,49 @@ inline void print_bench_header(const std::string& title,
               paper_ref.c_str(), bench_scale());
 }
 
+// ---- bench JSON artifact ----
+//
+// Plain printf bench drivers can publish throughput samples into the
+// per-commit CI artifact next to the google-benchmark JSONs: add()
+// records google-benchmark-shaped entries ({"name", "items_per_second",
+// "run_type": "iteration"}) and the destructor writes the file named by
+// the RR_BENCH_JSON environment variable (no-op when unset), so
+// tools/bench_diff.py folds repetitions into medians and flags
+// regressions for these benches exactly like for bench_perf.
+
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter() {
+    if (const char* env = std::getenv("RR_BENCH_JSON")) path_ = env;
+  }
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// One repetition's throughput sample (items per second).
+  void add(const std::string& name, double items_per_second) {
+    if (!enabled()) return;
+    if (!entries_.empty()) entries_ += ",\n";
+    entries_ += "    {\"name\": \"" + name + "\", \"run_type\": " +
+                "\"iteration\", \"items_per_second\": " +
+                std::to_string(items_per_second) + "}";
+  }
+
+  ~BenchJsonWriter() {
+    if (!enabled()) return;
+    if (std::FILE* f = std::fopen(path_.c_str(), "w")) {
+      std::fprintf(f, "{\n  \"benchmarks\": [\n%s\n  ]\n}\n",
+                   entries_.c_str());
+      std::fclose(f);
+    }
+  }
+
+ private:
+  std::string path_;
+  std::string entries_;
+};
+
 // ---- sweep checkpointing ----
 //
 // Long sweeps (millions of trials) need the same resumability as single

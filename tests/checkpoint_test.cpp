@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/continuous_engine.hpp"
 #include "common/rng.hpp"
+#include "core/eulerian_rotor_router.hpp"
 #include "core/initializers.hpp"
 #include "core/lazy_ring_rotor_router.hpp"
 #include "core/ring_rotor_router.hpp"
@@ -116,7 +118,7 @@ TEST(Checkpoint, RoundTripsEveryBackendMidRun) {
     std::unique_ptr<Engine> engine;
     std::string descriptor;
   };
-  Case cases[4];
+  Case cases[6];
   cases[0] = {std::make_unique<core::RotorRouter>(torus, spread), "torus 8 8"};
   cases[1] = {std::make_unique<core::RingRotorRouter>(48, spread), "ring 48"};
   cases[2] = {std::make_unique<core::LazyRingRotorRouter>(
@@ -124,6 +126,10 @@ TEST(Checkpoint, RoundTripsEveryBackendMidRun) {
               "ring 48"};
   cases[3] = {std::make_unique<walk::GraphRandomWalks>(torus, spread, 77),
               "torus 8 8"};
+  cases[4] = {std::make_unique<core::EulerianRotorRouter>(torus, spread),
+              "torus 8 8"};
+  cases[5] = {std::make_unique<analysis::ContinuousDomainEngine>(48, spread),
+              "ring 48"};
   for (auto& c : cases) {
     SCOPED_TRACE(c.engine->engine_name());
     c.engine->run(137);
@@ -233,7 +239,7 @@ TEST(Checkpoint, RejectsMalformedFraming) {
 
 TEST(Checkpoint, FuzzedDocumentsNeverAbort) {
   // Truncations, point mutations, and line drops over real checkpoints of
-  // all four backends: every variant must come back nullopt/nullptr (or a
+  // every backend: every variant must come back nullopt/nullptr (or a
   // well-formed engine for benign mutations) without aborting.
   graph::Graph torus = graph::torus(6, 6);
   std::vector<std::string> seeds;
@@ -250,6 +256,12 @@ TEST(Checkpoint, FuzzedDocumentsNeverAbort) {
     walk::GraphRandomWalks d(torus, {0, 18}, 9);
     d.run(41);
     seeds.push_back(write_checkpoint(d, "torus 6 6"));
+    core::EulerianRotorRouter e(torus, {0, 18});
+    e.run(41);
+    seeds.push_back(write_checkpoint(e, "torus 6 6"));
+    analysis::ContinuousDomainEngine f(24, {0, 12});
+    f.run(41);
+    seeds.push_back(write_checkpoint(f, "ring 24"));
   }
   Rng rng(0xF022);
   for (const std::string& seed : seeds) {

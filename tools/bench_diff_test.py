@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Smoke tests for bench_diff.py (stdlib unittest; wired into ctest).
+
+bench_diff is CI-critical glue with no compiler watching over it: these
+tests pin the median folding (repetitions and aggregate rows), the
+regression threshold math, the exit-code contract (always 0 — the diff
+annotates, it never gates), and robustness to unreadable input.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff
+
+
+def write_json(directory, name, benchmarks):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        json.dump({"benchmarks": benchmarks}, f)
+    return path
+
+
+def entry(name, rate, run_type="iteration"):
+    return {"name": name, "run_type": run_type, "items_per_second": rate}
+
+
+def run_main(argv):
+    out = io.StringIO()
+    old = sys.argv
+    sys.argv = ["bench_diff.py"] + argv
+    try:
+        with redirect_stdout(out):
+            code = bench_diff.main()
+    finally:
+        sys.argv = old
+    return code, out.getvalue()
+
+
+class MedianFolding(unittest.TestCase):
+    def test_repetitions_fold_to_median(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = write_json(d, "a.json", [
+                entry("BM_X", 100.0), entry("BM_X", 300.0),
+                entry("BM_X", 200.0),
+            ])
+            self.assertEqual(bench_diff.median_throughput(path),
+                             {"BM_X": 200.0})
+
+    def test_aggregate_rows_and_rateless_entries_skipped(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = write_json(d, "a.json", [
+                entry("BM_X", 100.0),
+                entry("BM_X_median", 999.0, run_type="aggregate"),
+                {"name": "BM_NoRate", "run_type": "iteration"},
+            ])
+            self.assertEqual(bench_diff.median_throughput(path),
+                             {"BM_X": 100.0})
+
+
+class RegressionFlagging(unittest.TestCase):
+    def diff(self, prev_rate, curr_rate, threshold="0.10"):
+        with tempfile.TemporaryDirectory() as d:
+            prev = write_json(d, "prev.json", [entry("BM_X", prev_rate)])
+            curr = write_json(d, "curr.json", [entry("BM_X", curr_rate)])
+            return run_main([prev, curr, "--threshold", threshold])
+
+    def test_drop_beyond_threshold_warns_but_exits_zero(self):
+        code, out = self.diff(100.0, 85.0)
+        self.assertEqual(code, 0)  # advisory, never gates
+        self.assertIn("::warning", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_drop_within_threshold_is_quiet(self):
+        code, out = self.diff(100.0, 95.0)
+        self.assertEqual(code, 0)
+        self.assertNotIn("::warning", out)
+        self.assertIn("no benchmark regressed", out)
+
+    def test_improvement_is_not_a_regression(self):
+        code, out = self.diff(100.0, 150.0)
+        self.assertEqual(code, 0)
+        self.assertNotIn("REGRESSION", out)
+
+    def test_new_benchmark_without_baseline_is_skipped(self):
+        # A backend added this commit has no previous-artifact entry; the
+        # diff must not warn (or crash) about it.
+        with tempfile.TemporaryDirectory() as d:
+            prev = write_json(d, "prev.json", [entry("BM_Old", 100.0)])
+            curr = write_json(d, "curr.json", [
+                entry("BM_Old", 100.0),
+                entry("EulerianCirculation/torus/k8", 2.3e8),
+            ])
+            code, out = run_main([prev, curr])
+            self.assertEqual(code, 0)
+            self.assertNotIn("::warning", out)
+
+    def test_unreadable_input_is_a_notice_not_a_failure(self):
+        code, out = run_main(["/does/not/exist.json", "/also/missing.json"])
+        self.assertEqual(code, 0)
+        self.assertIn("bench diff skipped", out)
+
+    def test_malformed_json_is_a_notice_not_a_failure(self):
+        with tempfile.TemporaryDirectory() as d:
+            bad = os.path.join(d, "bad.json")
+            with open(bad, "w") as f:
+                f.write("{not json")
+            good = write_json(d, "good.json", [entry("BM_X", 1.0)])
+            code, out = run_main([bad, good])
+            self.assertEqual(code, 0)
+            self.assertIn("bench diff skipped", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
