@@ -7,9 +7,12 @@
 //   rr_cli run     --topo torus --size 16 --k 8 --rounds 400 --checkpoint state.ckpt
 //   rr_cli run     --resume state.ckpt --rounds 400 [--checkpoint state.ckpt]
 //   rr_cli run     --topo torus --size 256 --k 64 --shards 8 --rounds 4000
+//   rr_cli run     --graph-image big.rrg --k 64 --rounds 1000   out-of-core stepping
 //   rr_cli config  "ring n=12 agents=0,6 pointers=cccccccccccc" [--rounds R]
 //   rr_cli lockin  --topo ring|grid|torus|clique|hypercube|tree --size 64
 //   rr_cli engines                                     list registered backends
+//   rr_cli build-graph --graph "ring 100000000" --out big.rrg   stream an image
+//   rr_cli convert old.ckpt new.ckpt --ckpt-format v1|v2        transcode a checkpoint
 //
 // `run` drives any registered engine (--engine NAME; `rr_cli engines` or
 // `--engine help` lists them) on any substrate (--topo/--size sugar or a
@@ -21,6 +24,15 @@
 // (bit-equal to sequential; also applies when resuming their
 // checkpoints), and --checkpoint-every N rewrites --checkpoint atomically
 // every N rounds while the run is in flight (crash-tolerant sweeps).
+// --ckpt-format picks the checkpoint wire format (v2 binary by default;
+// v1 is the interop text form — readers sniff, so either resumes).
+//
+// Out-of-core: `build-graph` streams a descriptor into an `rr-graph v1`
+// image (graph/mmap_substrate.hpp) without materializing the graph, and
+// `run --graph-image FILE` steps the rotor-router over the mmap'd image,
+// so instances far beyond RAM run from the page cache. --resume works
+// with --graph-image when the checkpoint's engine and descriptor match
+// the image.
 //
 // Exit code 0 on success, 2 on usage errors (so scripts can distinguish).
 
@@ -36,10 +48,12 @@
 #include "core/initializers.hpp"
 #include "core/limit_cycle.hpp"
 #include "core/ring_rotor_router.hpp"
+#include "core/rotor_router.hpp"
 #include "core/snapshot.hpp"
 #include "core/trace.hpp"
 #include "graph/descriptor.hpp"
 #include "graph/generators.hpp"
+#include "graph/mmap_substrate.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/registry.hpp"
 #include "sim/trace.hpp"
@@ -63,7 +77,23 @@ struct Flags {
   std::string resume;      // restore the engine state from here first
   std::uint32_t shards = 1;          // > 1: shard-parallel rotor stepping
   std::uint64_t checkpoint_every = 0;  // auto-checkpoint period (rounds)
+  std::string ckpt_format = "v2";  // checkpoint wire format: v1 | v2
+  std::string graph_image;  // rr-graph image to step out-of-core (run)
+  std::string out;          // output path (build-graph)
 };
+
+bool parse_ckpt_format(const std::string& s, rr::sim::CkptFormat& format) {
+  if (s == "v1") {
+    format = rr::sim::CkptFormat::kV1;
+  } else if (s == "v2") {
+    format = rr::sim::CkptFormat::kV2;
+  } else {
+    std::fprintf(stderr, "rr_cli: --ckpt-format must be v1 or v2 (got %s)\n",
+                 s.c_str());
+    return false;
+  }
+  return true;
+}
 
 // Lists the registered backends straight from the registry, so the help
 // text can never drift from what `run` actually accepts.
@@ -96,13 +126,17 @@ int usage() {
                "  trace: --rounds R --stride S --domains"
                " [--topo ... --size N | --graph DESC]\n"
                "  run: --engine %s --rounds R\n"
-               "       [--topo ... --size N | --graph DESC]"
-               " --checkpoint FILE --resume FILE\n"
-               "       --checkpoint-every N --shards N\n"
+               "       [--topo ... --size N | --graph DESC |"
+               " --graph-image FILE]\n"
+               "       --checkpoint FILE --resume FILE\n"
+               "       --checkpoint-every N --shards N --ckpt-format v1|v2\n"
                "  lockin: --topo ring|grid|torus|clique|hypercube|tree"
                " --size N\n"
                "  engines: list registered backends with substrate"
-               " requirements (also: --engine help)\n",
+               " requirements (also: --engine help)\n"
+               "  build-graph: [--graph DESC | --topo ... --size N]"
+               " --out FILE\n"
+               "  convert: <in.ckpt> <out.ckpt> [--ckpt-format v1|v2]\n",
                engine_names().c_str());
   return 2;
 }
@@ -180,6 +214,18 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       const char* v = next("--resume");
       if (!v) return false;
       f.resume = v;
+    } else if (a == "--ckpt-format") {
+      const char* v = next("--ckpt-format");
+      if (!v) return false;
+      f.ckpt_format = v;
+    } else if (a == "--graph-image") {
+      const char* v = next("--graph-image");
+      if (!v) return false;
+      f.graph_image = v;
+    } else if (a == "--out") {
+      const char* v = next("--out");
+      if (!v) return false;
+      f.out = v;
     } else {
       std::fprintf(stderr, "rr_cli: unknown flag %s\n", a.c_str());
       return false;
@@ -286,16 +332,64 @@ int cmd_engines() {
 }
 
 int cmd_run(const Flags& f) {
+  rr::sim::CkptFormat format;
+  if (!parse_ckpt_format(f.ckpt_format, format)) return 2;
+
+  std::shared_ptr<rr::graph::MappedSubstrate> substrate;
+  if (!f.graph_image.empty()) {
+    substrate = rr::graph::MappedSubstrate::open(f.graph_image);
+    if (!substrate) {
+      std::fprintf(stderr, "rr_cli: cannot open graph image %s\n",
+                   f.graph_image.c_str());
+      return 2;
+    }
+    if (f.shards > 1) {
+      std::fprintf(stderr,
+                   "rr_cli: --shards does not apply to --graph-image runs; "
+                   "stepping sequentially\n");
+    }
+  }
+
   std::unique_ptr<rr::sim::Engine> engine;
   std::string descriptor;
   if (!f.resume.empty()) {
-    const auto text = rr::sim::read_text_file(f.resume);
-    if (!text) {
-      std::fprintf(stderr, "rr_cli: cannot read %s\n", f.resume.c_str());
+    // Streaming parse: peak memory is one frame/field, so resuming an
+    // out-of-core-sized checkpoint does not buffer the whole document.
+    const auto parsed = rr::sim::parse_checkpoint_file(f.resume);
+    if (!parsed) {
+      std::fprintf(stderr, "rr_cli: malformed checkpoint %s\n",
+                   f.resume.c_str());
       return 2;
     }
-    const auto parsed = rr::sim::parse_checkpoint(*text);
-    if (parsed) {
+    if (substrate) {
+      if (parsed->engine != std::string("rotor-router")) {
+        std::fprintf(stderr,
+                     "rr_cli: --graph-image resumes rotor-router checkpoints "
+                     "only (checkpoint engine: %s)\n",
+                     parsed->engine.c_str());
+        return 2;
+      }
+      if (parsed->graph_descriptor != substrate->descriptor()) {
+        std::fprintf(stderr,
+                     "rr_cli: checkpoint graph '%s' does not match image "
+                     "graph '%s'\n",
+                     parsed->graph_descriptor.c_str(),
+                     substrate->descriptor().c_str());
+        return 2;
+      }
+      // Construct over the image with a placeholder agent, then restore;
+      // deserialize_state rewrites every per-node field.
+      auto rotor = std::make_unique<rr::core::RotorRouter>(
+          substrate, std::vector<rr::graph::NodeId>{0});
+      substrate->advise_sequential();
+      if (!rotor->deserialize_state(parsed->state)) {
+        std::fprintf(stderr, "rr_cli: checkpoint state does not fit image %s\n",
+                     f.graph_image.c_str());
+        return 2;
+      }
+      substrate->advise_random();
+      engine = std::move(rotor);
+    } else {
       const auto* spec =
           rr::sim::EngineRegistry::instance().find(parsed->engine);
       if (f.shards > 1 && (!spec || !spec->supports_shards)) {
@@ -305,16 +399,32 @@ int cmd_run(const Flags& f) {
                      parsed->engine.c_str());
       }
       engine = rr::sim::restore_checkpoint_sharded(*parsed, f.shards);
-    }
-    if (!engine) {
-      std::fprintf(stderr, "rr_cli: malformed checkpoint %s\n",
-                   f.resume.c_str());
-      return 2;
+      if (!engine) {
+        std::fprintf(stderr, "rr_cli: malformed checkpoint %s\n",
+                     f.resume.c_str());
+        return 2;
+      }
     }
     descriptor = parsed->graph_descriptor;
     std::printf("resumed %s on '%s' at t=%llu\n", engine->engine_name(),
                 descriptor.c_str(),
                 static_cast<unsigned long long>(engine->time()));
+  } else if (substrate) {
+    if (f.engine != "rotor") {
+      std::fprintf(stderr,
+                   "rr_cli: --graph-image drives the rotor engine "
+                   "(got --engine %s)\n",
+                   f.engine.c_str());
+      return 2;
+    }
+    descriptor = substrate->descriptor();
+    engine = std::make_unique<rr::core::RotorRouter>(
+        substrate, spread_agents(substrate->num_nodes(), f.k));
+    substrate->advise_random();
+    std::printf("image %s: '%s' %llu nodes, %.2f GB mapped\n",
+                f.graph_image.c_str(), descriptor.c_str(),
+                static_cast<unsigned long long>(substrate->num_nodes()),
+                static_cast<double>(substrate->image_bytes()) / (1u << 30));
   } else {
     descriptor = topo_descriptor(f);
     engine = build_engine(f, descriptor);
@@ -327,7 +437,7 @@ int cmd_run(const Flags& f) {
     }
     engine->set_auto_checkpoint(
         f.checkpoint_every,
-        rr::sim::checkpoint_file_sink(f.checkpoint, descriptor));
+        rr::sim::checkpoint_file_sink(f.checkpoint, descriptor, format));
   }
   const std::uint64_t rounds = f.rounds ? f.rounds : engine->num_nodes();
   engine->run(rounds);
@@ -337,7 +447,9 @@ int cmd_run(const Flags& f) {
               engine->covered_count(), engine->num_nodes(),
               static_cast<unsigned long long>(engine->config_hash()));
   if (!f.checkpoint.empty()) {
-    const std::string text = rr::sim::write_checkpoint(*engine, descriptor);
+    if (substrate) substrate->advise_sequential();
+    const std::string text =
+        rr::sim::write_checkpoint(*engine, descriptor, format);
     // Atomic like the auto-checkpoint sink: a crash mid-write must not
     // destroy the last good checkpoint at the same path.
     if (!rr::sim::save_checkpoint_file_atomic(f.checkpoint, text)) {
@@ -347,6 +459,64 @@ int cmd_run(const Flags& f) {
     std::printf("checkpoint: %s (%zu bytes)\n", f.checkpoint.c_str(),
                 text.size());
   }
+  return 0;
+}
+
+int cmd_build_graph(const Flags& f) {
+  if (f.out.empty()) {
+    std::fprintf(stderr, "rr_cli: build-graph needs --out FILE\n");
+    return 2;
+  }
+  const std::string descriptor = topo_descriptor(f);
+  std::string error;
+  if (!rr::graph::MappedSubstrate::build(descriptor, f.out, &error)) {
+    std::fprintf(stderr, "rr_cli: build-graph: %s\n", error.c_str());
+    return 2;
+  }
+  const auto s = rr::graph::MappedSubstrate::open(f.out);
+  if (!s) {
+    std::fprintf(stderr, "rr_cli: built image fails validation: %s\n",
+                 f.out.c_str());
+    return 2;
+  }
+  std::printf("image %s: '%s' nodes=%llu arcs=%llu bytes=%llu\n",
+              f.out.c_str(), s->descriptor().c_str(),
+              static_cast<unsigned long long>(s->num_nodes()),
+              static_cast<unsigned long long>(s->num_arcs()),
+              static_cast<unsigned long long>(s->image_bytes()));
+  return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+  if (argc < 4 || argv[2][0] == '-' || argv[3][0] == '-') return usage();
+  const std::string in_path = argv[2];
+  const std::string out_path = argv[3];
+  Flags f;
+  if (!parse_flags(argc, argv, 4, f)) return 2;
+  rr::sim::CkptFormat format;
+  if (!parse_ckpt_format(f.ckpt_format, format)) return 2;
+  const auto parsed = rr::sim::parse_checkpoint_file(in_path);
+  if (!parsed) {
+    std::fprintf(stderr, "rr_cli: malformed checkpoint %s\n", in_path.c_str());
+    return 2;
+  }
+  // Transcode through a restored engine rather than field-by-field: the
+  // engine re-serializes its canonical field set, so the output is
+  // byte-identical to a checkpoint written directly in the target format.
+  auto engine = rr::sim::restore_checkpoint(*parsed);
+  if (!engine) {
+    std::fprintf(stderr, "rr_cli: cannot restore %s (engine %s)\n",
+                 in_path.c_str(), parsed->engine.c_str());
+    return 2;
+  }
+  const std::string text =
+      rr::sim::write_checkpoint(*engine, parsed->graph_descriptor, format);
+  if (!rr::sim::save_checkpoint_file_atomic(out_path, text)) {
+    std::fprintf(stderr, "rr_cli: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("converted %s -> %s (%s, %zu bytes)\n", in_path.c_str(),
+              out_path.c_str(), f.ckpt_format.c_str(), text.size());
   return 0;
 }
 
@@ -460,10 +630,12 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "engines") return cmd_engines();
   if (cmd == "config") return cmd_config(argc, argv);
+  if (cmd == "convert") return cmd_convert(argc, argv);
   Flags f;
   if (!parse_flags(argc, argv, 2, f)) return 2;
   if (f.engine == "help" || f.engine == "list") return cmd_engines();
   if (cmd == "run") return cmd_run(f);  // validates against its substrate
+  if (cmd == "build-graph") return cmd_build_graph(f);
   if (f.n < 3 || f.k < 1 || f.k > f.n) {
     std::fprintf(stderr, "rr_cli: need n >= 3 and 1 <= k <= n\n");
     return 2;

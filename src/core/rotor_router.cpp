@@ -15,6 +15,28 @@ RotorRouter::RotorRouter(const Graph& g, const std::vector<NodeId>& agents,
   covered_ = init_rotor_nodes(g, csr_, agents, pointers, node_,
                               initial_pointers_, stats_,
                               [&](NodeId v) { occupied_.push_back(v); });
+  pristine_ = pointers.empty();
+}
+
+RotorRouter::RotorRouter(const std::shared_ptr<graph::MappedSubstrate>& substrate,
+                         const std::vector<NodeId>& agents,
+                         std::vector<std::uint32_t> pointers)
+    : csr_(substrate->csr()),
+      num_agents_(static_cast<std::uint32_t>(agents.size())),
+      node_(substrate->node_state()),
+      stats_(substrate->visit_stats<VisitStats>()) {
+  // The image builder verified connectivity (streamed kinds by
+  // construction, built kinds explicitly) and precomputed
+  // degree/row_begin, so only agent placement remains.
+  covered_ = place_rotor_agents(csr_, agents, pointers, node_,
+                                initial_pointers_, stats_,
+                                [&](NodeId v) { occupied_.push_back(v); });
+  // Only the first engine over this open may assume the mapping still
+  // holds image defaults — engines sharing a handle share COW pages.
+  // The claim is consumed unconditionally: this construction dirtied
+  // the mapping either way.
+  const bool first_over_mapping = substrate->claim_pristine_state();
+  pristine_ = pointers.empty() && first_over_mapping;
 }
 
 void RotorRouter::commit_arrivals() {
@@ -60,8 +82,21 @@ void RotorRouter::serialize_state(sim::StateWriter& out) const {
 }
 
 bool RotorRouter::deserialize_state(const sim::StateReader& in) {
-  const auto restored =
-      deserialize_rotor_state(in, csr_, node_, initial_pointers_, stats_);
+  const bool assume_defaults = pristine_;
+  pristine_ = false;
+  if (assume_defaults) {
+    // Undo the constructor's agent placement so the default-skipping
+    // restore's precondition holds at every node (placement only
+    // touched count, visits and first_visit on the agent sites).
+    for (const NodeId v : occupied_) {
+      node_[v].count = 0;
+      node_[v].arrivals = 0;
+      stats_[v].visits = 0;
+      stats_[v].first_visit = kNotCovered;
+    }
+  }
+  const auto restored = deserialize_rotor_state(
+      in, csr_, node_, initial_pointers_, stats_, assume_defaults);
   if (!restored) return false;
   time_ = restored->time;
   num_agents_ = restored->num_agents;

@@ -32,6 +32,7 @@
 #include "core/shard_step.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
+#include "graph/mmap_substrate.hpp"
 #include "graph/partition.hpp"
 #include "sim/engine.hpp"
 #include "sim/state_io.hpp"
@@ -53,6 +54,18 @@ class RotorRouter final : public sim::Engine, public sim::StateIO {
   RotorRouter(const Graph& g, const std::vector<NodeId>& agents,
               std::vector<std::uint32_t> pointers = {});
 
+  /// Out-of-core construction over an opened `rr-graph v1` image: the CSR
+  /// adjacency, NodeState and VisitStats arrays are views into the
+  /// substrate's private mapping (degree/row_begin and the never-visited
+  /// sentinel come precomputed from the image), so construction faults in
+  /// O(agents) pages instead of touching every node. The mapping is
+  /// MAP_PRIVATE: this engine's mutations never reach the image file, and
+  /// each open() gives a fresh initial state. The substrate handle is
+  /// retained via the views, so callers may drop their shared_ptr.
+  RotorRouter(const std::shared_ptr<graph::MappedSubstrate>& substrate,
+              const std::vector<NodeId>& agents,
+              std::vector<std::uint32_t> pointers = {});
+
   /// One synchronous round with no delays.
   void step() override {
     step_delayed([](NodeId, std::uint64_t, std::uint32_t) { return 0u; });
@@ -63,6 +76,7 @@ class RotorRouter final : public sim::Engine, public sim::StateIO {
   /// during round t. Holding agents never increases visit counts (Lemma 1).
   template <typename DelayFn>
   void step_delayed(DelayFn&& delay) {
+    pristine_ = false;
     ++time_;
     const NodeId* arcs = csr_.arcs();
     const std::size_t occupied_before = occupied_.size();
@@ -154,12 +168,20 @@ class RotorRouter final : public sim::Engine, public sim::StateIO {
   std::uint32_t num_agents_;
   std::uint64_t time_ = 0;
   NodeId covered_ = 0;
+  /// True while the per-node arrays still hold construction defaults
+  /// everywhere except the agent sites (constructed without a pointer
+  /// override, never stepped or restored). Lets deserialize_state skip
+  /// rewriting default-valued spans, so resuming into a freshly opened
+  /// substrate image dirties only the pages that differ from the image.
+  bool pristine_ = false;
 
-  std::vector<graph::NodeState> node_;  // packed per-node hot state
+  // Owned vectors for Graph construction, views into the image mapping
+  // for substrate construction — same indexing either way.
+  graph::MappedArray<graph::NodeState> node_;  // packed per-node hot state
   std::vector<std::uint32_t> initial_pointers_;
   std::vector<NodeId> occupied_;  // nodes with node_[v].count > 0 (unique)
   std::vector<NodeId> touched_;   // nodes with node_[v].arrivals > 0
-  std::vector<VisitStats> stats_;  // packed visits/exits/first/last
+  graph::MappedArray<VisitStats> stats_;  // packed visits/exits/first/last
 };
 
 }  // namespace rr::core

@@ -10,7 +10,13 @@
 // serialize_state/deserialize_state/config_hash delegate here, so a field
 // added for one engine is automatically read and written by the other
 // (drift would otherwise break restore_checkpoint_sharded silently).
+//
+// The helpers are templated over the per-node array types so the same
+// code serves owned std::vector state (in-RAM construction) and
+// graph::MappedArray views into an mmap'd substrate image
+// (graph/mmap_substrate.hpp); both expose size() and operator[].
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -26,57 +32,75 @@
 
 namespace rr::core {
 
-/// Constructor-time initialization shared by both engines: validates the
-/// configuration (connected graph, in-range agents and pointers), caches
-/// degree/row offsets into the NodeState block, applies the optional
-/// initial pointer field, places the agent multiset (counts + the
-/// paper's n_v(0) visits), and marks initial hosts covered.
-/// on_first_occupy(v) fires the first time a node gains an agent, in
-/// `agents` order — engines seed their occupied bookkeeping with it.
-/// Returns the number of initially covered nodes.
-template <typename OnFirstOccupy>
-inline graph::NodeId init_rotor_nodes(const graph::Graph& g,
-                                      const graph::CsrGraph& csr,
-                                      const std::vector<graph::NodeId>& agents,
-                                      const std::vector<std::uint32_t>& pointers,
-                                      std::vector<graph::NodeState>& node,
-                                      std::vector<std::uint32_t>& initial_pointers,
-                                      std::vector<VisitStats>& stats,
-                                      OnFirstOccupy&& on_first_occupy) {
+/// The substrate-independent tail of engine construction: validates and
+/// applies the optional initial pointer field, places the agent multiset
+/// (counts + the paper's n_v(0) visits), and marks initial hosts
+/// covered. Assumes node[v].degree/row_begin are already cached (by
+/// init_rotor_nodes below, or by the substrate image builder) and stats
+/// carry the never-visited sentinel. on_first_occupy(v) fires the first
+/// time a node gains an agent, in `agents` order — engines seed their
+/// occupied bookkeeping with it. Returns the initially covered count.
+/// Touches only the agent nodes (plus every node when a pointer field is
+/// given), so out-of-core construction faults in O(agents) pages.
+template <typename NodeArray, typename StatsArray, typename OnFirstOccupy>
+inline graph::NodeId place_rotor_agents(
+    const graph::CsrGraph& csr, const std::vector<graph::NodeId>& agents,
+    const std::vector<std::uint32_t>& pointers, NodeArray& node,
+    std::vector<std::uint32_t>& initial_pointers, StatsArray& stats,
+    OnFirstOccupy&& on_first_occupy) {
   RR_REQUIRE(!agents.empty(), "at least one agent required");
-  RR_REQUIRE(g.is_connected(), "rotor-router requires a connected graph");
-  if (!pointers.empty()) {
-    RR_REQUIRE(pointers.size() == g.num_nodes(), "pointer vector size mismatch");
-  }
-  initial_pointers.assign(g.num_nodes(), 0);
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    node[v].degree = csr.degree_unchecked(v);
-    node[v].row_begin = csr.row_offset(v);
-    if (!pointers.empty()) {
-      RR_REQUIRE(pointers[v] < g.degree(v), "pointer out of range");
+  const graph::NodeId n = csr.num_nodes();
+  if (pointers.empty()) {
+    initial_pointers.assign(n, 0);
+  } else {
+    RR_REQUIRE(pointers.size() == n, "pointer vector size mismatch");
+    for (graph::NodeId v = 0; v < n; ++v) {
+      RR_REQUIRE(pointers[v] < csr.degree_unchecked(v),
+                 "pointer out of range");
       node[v].pointer = pointers[v];
-      initial_pointers[v] = pointers[v];
     }
-  }
-  for (graph::NodeId v : agents) {
-    RR_REQUIRE(v < g.num_nodes(), "agent start node out of range");
-    if (node[v].count == 0) on_first_occupy(v);
-    ++node[v].count;
-    ++stats[v].visits;  // n_v(0) counts initially placed agents
+    initial_pointers.assign(pointers.begin(), pointers.end());
   }
   graph::NodeId covered = 0;
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (node[v].count > 0) {
+  for (graph::NodeId v : agents) {
+    RR_REQUIRE(v < n, "agent start node out of range");
+    if (node[v].count == 0) {
+      on_first_occupy(v);
       stats[v].first_visit = 0;
       ++covered;
     }
+    ++node[v].count;
+    ++stats[v].visits;  // n_v(0) counts initially placed agents
   }
   return covered;
 }
 
+/// Constructor-time initialization from a Graph: validates connectivity,
+/// caches degree/row offsets into the NodeState block, then places the
+/// agents via place_rotor_agents. Returns the initially covered count.
+template <typename NodeArray, typename StatsArray, typename OnFirstOccupy>
+inline graph::NodeId init_rotor_nodes(const graph::Graph& g,
+                                      const graph::CsrGraph& csr,
+                                      const std::vector<graph::NodeId>& agents,
+                                      const std::vector<std::uint32_t>& pointers,
+                                      NodeArray& node,
+                                      std::vector<std::uint32_t>& initial_pointers,
+                                      StatsArray& stats,
+                                      OnFirstOccupy&& on_first_occupy) {
+  RR_REQUIRE(g.is_connected(), "rotor-router requires a connected graph");
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    node[v].degree = csr.degree_unchecked(v);
+    node[v].row_begin = csr.row_offset(v);
+  }
+  return place_rotor_agents(csr, agents, pointers, node, initial_pointers,
+                            stats,
+                            std::forward<OnFirstOccupy>(on_first_occupy));
+}
+
 /// FNV-1a over (pointer, count) per node — the configuration identity
 /// both engines report as config_hash.
-inline std::uint64_t rotor_config_hash(const std::vector<graph::NodeState>& node) {
+template <typename NodeArray>
+inline std::uint64_t rotor_config_hash(const NodeArray& node) {
   Fnv1a h;
   for (const graph::NodeState& ns : node) {
     h.mix(ns.pointer);
@@ -86,31 +110,34 @@ inline std::uint64_t rotor_config_hash(const std::vector<graph::NodeState>& node
 }
 
 /// Writes the full rotor-router field set: time, sparse agent sites
-/// (ascending node id), pointer fields, visit statistics.
+/// (ascending node id), pointer fields, visit statistics. The per-node
+/// fields are recorded as lazy views straight over the engine arrays —
+/// nothing O(n) is materialized, so checkpointing an mmap-backed 1e8-node
+/// engine allocates only the sparse site list (the codecs stream the
+/// views; the engine outlives the writer inside write_checkpoint).
+template <typename NodeArray, typename StatsArray>
 inline void serialize_rotor_state(sim::StateWriter& out, std::uint64_t time,
-                                  const std::vector<graph::NodeState>& node,
+                                  const NodeArray& node,
                                   const std::vector<std::uint32_t>& initial_pointers,
-                                  const std::vector<VisitStats>& stats) {
+                                  const StatsArray& stats) {
   const std::size_t n = node.size();
   out.field_u64("time", time);
   std::vector<std::pair<std::uint64_t, std::uint64_t>> sites;
-  std::vector<std::uint32_t> pointers(n);
-  std::vector<std::uint64_t> visits(n), exits(n), first_visit(n), last_visit(n);
   for (std::size_t v = 0; v < n; ++v) {
     if (node[v].count > 0) sites.emplace_back(v, node[v].count);
-    pointers[v] = node[v].pointer;
-    visits[v] = stats[v].visits;
-    exits[v] = stats[v].exits;
-    first_visit[v] = stats[v].first_visit;
-    last_visit[v] = stats[v].last_visit;
   }
   out.field_pairs("agents", sites);
-  out.field_list("pointers", pointers);
-  out.field_list("initial_pointers", initial_pointers);
-  out.field_list("visits", visits);
-  out.field_list("exits", exits);
-  out.field_list("first_visit", first_visit);
-  out.field_list("last_visit", last_visit);
+  const std::uint32_t node_stride = sizeof(node[0]);
+  const std::uint32_t stats_stride = sizeof(stats[0]);
+  out.field_list_strided("pointers", n, &node[0].pointer, node_stride, 4);
+  out.field_list_strided("initial_pointers", n, initial_pointers.data(),
+                         sizeof(std::uint32_t), 4);
+  out.field_list_strided("visits", n, &stats[0].visits, stats_stride, 8);
+  out.field_list_strided("exits", n, &stats[0].exits, stats_stride, 8);
+  out.field_list_strided("first_visit", n, &stats[0].first_visit,
+                         stats_stride, 8);
+  out.field_list_strided("last_visit", n, &stats[0].last_visit, stats_stride,
+                         8);
 }
 
 /// The engine-agnostic result of a restore: everything except the
@@ -129,28 +156,26 @@ struct RestoredRotorState {
 /// state (counts and arrival accumulators reset and repopulated from the
 /// sparse sites); on failure returns nullopt and the outputs are
 /// unspecified (the StateIO contract for a failed restore).
+///
+/// `assume_defaults`: the caller guarantees node/stats/initial_pointers
+/// currently hold the construction-time defaults at every node (count,
+/// arrivals, pointer, visits, exits, last_visit all 0; first_visit the
+/// never-covered sentinel). Constant runs carrying exactly those values
+/// are then skipped instead of rewritten, so restoring a lightly-evolved
+/// state into a freshly opened substrate image touches only the pages
+/// that actually differ from the image — the resume path stays
+/// out-of-core instead of dirtying the whole COW mapping. Skipped
+/// pointer runs are value 0, which a connected graph's degree >= 1
+/// always admits, so validation is preserved.
+template <typename NodeArray, typename StatsArray>
 inline std::optional<RestoredRotorState> deserialize_rotor_state(
     const sim::StateReader& in, const graph::CsrGraph& csr,
-    std::vector<graph::NodeState>& node,
-    std::vector<std::uint32_t>& initial_pointers,
-    std::vector<VisitStats>& stats) {
+    NodeArray& node, std::vector<std::uint32_t>& initial_pointers,
+    StatsArray& stats, bool assume_defaults = false) {
   const graph::NodeId n = csr.num_nodes();
   const auto time = in.u64("time");
   const auto sites = in.pairs("agents");
-  const auto pointers = in.u64_list("pointers", n);
-  const auto initial = in.u64_list("initial_pointers", n);
-  const auto visits = in.u64_list("visits", n);
-  const auto exits = in.u64_list("exits", n);
-  const auto first_visit = in.u64_list("first_visit", n);
-  const auto last_visit = in.u64_list("last_visit", n);
-  if (!time || !sites || sites->empty() || !pointers || !initial || !visits ||
-      !exits || !first_visit || !last_visit) {
-    return std::nullopt;
-  }
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if ((*pointers)[v] >= csr.degree_unchecked(v)) return std::nullopt;
-    if ((*initial)[v] >= csr.degree_unchecked(v)) return std::nullopt;
-  }
+  if (!time || !sites || sites->empty()) return std::nullopt;
   std::uint64_t total_agents = 0;
   for (const auto& [v, c] : *sites) {
     if (v >= n || c == 0 || c > ~std::uint32_t{0}) return std::nullopt;
@@ -158,20 +183,81 @@ inline std::optional<RestoredRotorState> deserialize_rotor_state(
   }
   if (total_agents > ~std::uint32_t{0}) return std::nullopt;
 
+  // The six per-node fields decode as lockstep run cursors: node v's
+  // whole record (pointer, stats) is validated and written in one
+  // touch, so the restore makes a single pass over the engine's state
+  // memory instead of six, and spans where every field sits in a
+  // default-valued constant run are skipped outright under
+  // assume_defaults. No O(n) intermediates; a failed stream leaves the
+  // state partially written (allowed by the StateIO contract).
   RestoredRotorState restored;
   restored.time = *time;
   restored.num_agents = static_cast<std::uint32_t>(total_agents);
-  initial_pointers.assign(initial->begin(), initial->end());
-  for (graph::NodeId v = 0; v < n; ++v) {
-    node[v].count = 0;
-    node[v].arrivals = 0;
-    node[v].pointer = static_cast<std::uint32_t>((*pointers)[v]);
-    stats[v].visits = (*visits)[v];
-    stats[v].exits = (*exits)[v];
-    stats[v].first_visit = (*first_visit)[v];
-    stats[v].last_visit = (*last_visit)[v];
-    if (stats[v].first_visit != sim::kNotCovered) ++restored.covered;
+  initial_pointers.resize(n);
+  constexpr std::size_t kFields = 6;
+  std::optional<sim::U64ListCursor> cursors[kFields] = {
+      in.u64_list_cursor("pointers", n),
+      in.u64_list_cursor("initial_pointers", n),
+      in.u64_list_cursor("visits", n),
+      in.u64_list_cursor("exits", n),
+      in.u64_list_cursor("first_visit", n),
+      in.u64_list_cursor("last_visit", n)};
+  for (const auto& c : cursors) {
+    if (!c) return std::nullopt;
   }
+  // Construction-time default per field (see assume_defaults above).
+  constexpr std::uint64_t kDefaults[kFields] = {0, 0, 0, 0,
+                                                sim::kNotCovered, 0};
+  sim::U64ListCursor::Run run[kFields];
+  for (graph::NodeId v = 0; v < n;) {
+    std::uint64_t span = n - v;
+    for (std::size_t k = 0; k < kFields; ++k) {
+      if (run[k].len == 0) {
+        const auto r = cursors[k]->next_run();
+        if (!r) return std::nullopt;
+        run[k] = *r;
+      }
+      span = std::min(span, run[k].len);
+    }
+    bool skip = assume_defaults && n > 1;
+    for (std::size_t k = 0; skip && k < kFields; ++k) {
+      skip = run[k].delta == 0 && run[k].value == kDefaults[k];
+    }
+    if (!skip) {
+      for (std::uint64_t j = 0; j < span; ++j) {
+        const graph::NodeId u = v + static_cast<graph::NodeId>(j);
+        const std::uint32_t degree = csr.degree_unchecked(u);
+        if (run[0].value >= degree || run[1].value >= degree) {
+          return std::nullopt;
+        }
+        node[u].count = 0;
+        node[u].arrivals = 0;
+        node[u].pointer = static_cast<std::uint32_t>(run[0].value);
+        initial_pointers[u] = static_cast<std::uint32_t>(run[1].value);
+        stats[u].visits = run[2].value;
+        stats[u].exits = run[3].value;
+        stats[u].first_visit = run[4].value;
+        stats[u].last_visit = run[5].value;
+        if (run[4].value != sim::kNotCovered) ++restored.covered;
+        for (std::size_t k = 0; k < kFields; ++k) {
+          run[k].value += run[k].delta;
+        }
+      }
+    } else {
+      // All six runs are constant defaults over the span; covered_
+      // gains nothing (first_visit is the sentinel) and every store
+      // would rewrite the value already there.
+      for (std::size_t k = 0; k < kFields; ++k) {
+        run[k].value += run[k].delta * span;  // delta == 0, kept for form
+      }
+    }
+    for (std::size_t k = 0; k < kFields; ++k) run[k].len -= span;
+    v += static_cast<graph::NodeId>(span);
+  }
+  for (auto& c : cursors) {
+    if (!c->finished()) return std::nullopt;
+  }
+
   restored.sites.reserve(sites->size());
   for (const auto& [v, c] : *sites) {
     node[v].count = static_cast<std::uint32_t>(c);

@@ -2,36 +2,79 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 namespace rr::graph {
 
 CsrGraph::CsrGraph(const Graph& g) {
   const NodeId n = g.num_nodes();
-  offsets_.resize(static_cast<std::size_t>(n) + 1);
-  offsets_[0] = 0;
+  num_nodes_ = n;
+  offsets_store_.resize(static_cast<std::size_t>(n) + 1);
+  offsets_store_[0] = 0;
   for (NodeId v = 0; v < n; ++v) {
-    offsets_[v + 1] = offsets_[v] + g.degree(v);
+    offsets_store_[v + 1] = offsets_store_[v] + g.degree(v);
   }
-  neighbors_.resize(offsets_[n]);
-  sorted_ports_.resize(offsets_[n]);
+  neighbors_store_.resize(offsets_store_[n]);
+  ports_store_.resize(offsets_store_[n]);
   for (NodeId v = 0; v < n; ++v) {
     const auto row = g.neighbors(v);
-    std::copy(row.begin(), row.end(), neighbors_.begin() + offsets_[v]);
-    auto* ports = sorted_ports_.data() + offsets_[v];
+    std::copy(row.begin(), row.end(),
+              neighbors_store_.begin() + offsets_store_[v]);
+    auto* ports = ports_store_.data() + offsets_store_[v];
     std::iota(ports, ports + row.size(), 0u);
-    const NodeId* heads = neighbors_.data() + offsets_[v];
+    const NodeId* heads = neighbors_store_.data() + offsets_store_[v];
     std::sort(ports, ports + row.size(),
               [heads](std::uint32_t a, std::uint32_t b) {
                 return heads[a] != heads[b] ? heads[a] < heads[b] : a < b;
               });
   }
+  offsets_ = offsets_store_.data();
+  neighbors_ = neighbors_store_.data();
+  sorted_ports_ = ports_store_.data();
+}
+
+CsrGraph::CsrGraph(const std::size_t* offsets, NodeId num_nodes,
+                   const NodeId* neighbors, const std::uint32_t* sorted_ports,
+                   std::shared_ptr<const void> backing)
+    : backing_(std::move(backing)),
+      offsets_(offsets),
+      neighbors_(neighbors),
+      sorted_ports_(sorted_ports),
+      num_nodes_(num_nodes) {
+  RR_REQUIRE(offsets_ != nullptr && neighbors_ != nullptr,
+             "CsrGraph view requires offsets and neighbors arrays");
+}
+
+CsrGraph& CsrGraph::operator=(const CsrGraph& other) {
+  offsets_store_ = other.offsets_store_;
+  neighbors_store_ = other.neighbors_store_;
+  ports_store_ = other.ports_store_;
+  backing_ = other.backing_;
+  num_nodes_ = other.num_nodes_;
+  if (backing_ != nullptr) {  // view: share the external arrays
+    offsets_ = other.offsets_;
+    neighbors_ = other.neighbors_;
+    sorted_ports_ = other.sorted_ports_;
+  } else {  // owned: rebind to this object's copies
+    offsets_ = offsets_store_.data();
+    neighbors_ = neighbors_store_.data();
+    sorted_ports_ = ports_store_.empty() ? nullptr : ports_store_.data();
+  }
+  return *this;
 }
 
 std::uint32_t CsrGraph::port_to(NodeId v, NodeId u) const {
   RR_REQUIRE(v < num_nodes() && u < num_nodes(), "node out of range");
-  const NodeId* heads = neighbors_.data() + offsets_[v];
-  const std::uint32_t* first = sorted_ports_.data() + offsets_[v];
-  const std::uint32_t* last = sorted_ports_.data() + offsets_[v + 1];
+  const NodeId* heads = neighbors_ + offsets_[v];
+  const std::uint32_t deg = degree_unchecked(v);
+  if (sorted_ports_ == nullptr) {
+    for (std::uint32_t p = 0; p < deg; ++p) {
+      if (heads[p] == u) return p;
+    }
+    RR_UNREACHABLE("port_to: no edge between the given nodes");
+  }
+  const std::uint32_t* first = sorted_ports_ + offsets_[v];
+  const std::uint32_t* last = sorted_ports_ + offsets_[v + 1];
   const std::uint32_t* it = std::lower_bound(
       first, last, u,
       [heads](std::uint32_t port, NodeId target) { return heads[port] < target; });
@@ -42,9 +85,16 @@ std::uint32_t CsrGraph::port_to(NodeId v, NodeId u) const {
 
 bool CsrGraph::has_edge(NodeId v, NodeId u) const {
   if (v >= num_nodes() || u >= num_nodes()) return false;
-  const NodeId* heads = neighbors_.data() + offsets_[v];
-  const std::uint32_t* first = sorted_ports_.data() + offsets_[v];
-  const std::uint32_t* last = sorted_ports_.data() + offsets_[v + 1];
+  const NodeId* heads = neighbors_ + offsets_[v];
+  const std::uint32_t deg = degree_unchecked(v);
+  if (sorted_ports_ == nullptr) {
+    for (std::uint32_t p = 0; p < deg; ++p) {
+      if (heads[p] == u) return true;
+    }
+    return false;
+  }
+  const std::uint32_t* first = sorted_ports_ + offsets_[v];
+  const std::uint32_t* last = sorted_ports_ + offsets_[v + 1];
   const std::uint32_t* it = std::lower_bound(
       first, last, u,
       [heads](std::uint32_t port, NodeId target) { return heads[port] < target; });

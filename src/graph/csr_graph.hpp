@@ -16,8 +16,15 @@
 // reached from v through port p, and the cyclic successor of p is
 // (p+1) mod deg(v). The CSR view is immutable; permute ports on the Graph
 // *before* constructing the view.
+//
+// Storage comes in two modes behind the same pointer-based accessors:
+// owned (built from a Graph, arrays in member vectors) and view (arrays
+// live elsewhere — an mmap'd graph image, graph/mmap_substrate.hpp — and
+// `backing_` keeps that storage alive). Copying an owned CsrGraph copies
+// the arrays; copying a view shares them.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -30,12 +37,27 @@ class CsrGraph {
  public:
   explicit CsrGraph(const Graph& g);
 
-  NodeId num_nodes() const {
-    return static_cast<NodeId>(offsets_.size() - 1);
-  }
-  std::size_t num_edges() const { return neighbors_.size() / 2; }
+  /// View over externally owned arrays: `offsets` (n+1 prefix sums),
+  /// `neighbors` (offsets[n] arc heads), and optionally `sorted_ports`
+  /// (same length; nullptr degrades port_to/has_edge to a linear scan).
+  /// `backing` is retained for the lifetime of this view and any copy of
+  /// it (e.g. the shared_ptr of the mmap'd substrate the arrays live in).
+  CsrGraph(const std::size_t* offsets, NodeId num_nodes,
+           const NodeId* neighbors, const std::uint32_t* sorted_ports,
+           std::shared_ptr<const void> backing);
+
+  // Owned mode must rebind the accessor pointers to the copied vectors;
+  // view mode shares the underlying arrays (and their backing). Moves
+  // keep the heap buffers, so the default member-wise move is correct.
+  CsrGraph(const CsrGraph& other) { *this = other; }
+  CsrGraph& operator=(const CsrGraph& other);
+  CsrGraph(CsrGraph&&) noexcept = default;
+  CsrGraph& operator=(CsrGraph&&) noexcept = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return num_arcs() / 2; }
   /// Number of arcs in the directed symmetric version (2|E|).
-  std::size_t num_arcs() const { return neighbors_.size(); }
+  std::size_t num_arcs() const { return offsets_[num_nodes_]; }
 
   std::uint32_t degree(NodeId v) const {
     RR_REQUIRE(v < num_nodes(), "node out of range");
@@ -52,18 +74,18 @@ class CsrGraph {
   /// Neighbors of `v` in port order.
   std::span<const NodeId> neighbors(NodeId v) const {
     RR_REQUIRE(v < num_nodes(), "node out of range");
-    return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+    return {neighbors_ + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
 
   // ---- unchecked hot-path accessors (engine inner loops) ----
 
   /// Pointer to the port-ordered neighbor row of `v`; valid for
   /// [0, degree(v)) without bounds checks.
-  const NodeId* row(NodeId v) const { return neighbors_.data() + offsets_[v]; }
+  const NodeId* row(NodeId v) const { return neighbors_ + offsets_[v]; }
   /// Base of the flat arc-head array; engines that cache per-node row
   /// offsets (graph::NodeState::row_begin) index it directly and skip the
   /// offsets_ lookup of row().
-  const NodeId* arcs() const { return neighbors_.data(); }
+  const NodeId* arcs() const { return neighbors_; }
   /// Offset of v's neighbor row in arcs() (what NodeState::row_begin
   /// caches at engine construction).
   std::size_t row_offset(NodeId v) const { return offsets_[v]; }
@@ -80,15 +102,22 @@ class CsrGraph {
   bool has_edge(NodeId v, NodeId u) const;
 
  private:
-  std::vector<std::size_t> offsets_;  // n+1 prefix sums of degrees
-  std::vector<NodeId> neighbors_;     // arc heads, port order per node
-
+  // Owned-mode storage (empty in view mode).
+  std::vector<std::size_t> offsets_store_;  // n+1 prefix sums of degrees
+  std::vector<NodeId> neighbors_store_;     // arc heads, port order per node
   // Per-node port permutation sorted by (neighbor, port): sorted_ports_[i]
   // for i in [offsets_[v], offsets_[v+1]) enumerates v's ports so that
   // neighbors_[offsets_[v] + sorted_ports_[i]] is nondecreasing, with ties
   // (parallel edges) broken by smaller port. Supports binary-search
   // port_to/has_edge without disturbing the cyclic port order.
-  std::vector<std::uint32_t> sorted_ports_;
+  std::vector<std::uint32_t> ports_store_;
+
+  std::shared_ptr<const void> backing_;  // view mode: keeps the arrays alive
+
+  const std::size_t* offsets_ = nullptr;
+  const NodeId* neighbors_ = nullptr;
+  const std::uint32_t* sorted_ports_ = nullptr;  // nullptr: linear port_to
+  NodeId num_nodes_ = 0;
 };
 
 }  // namespace rr::graph

@@ -2,15 +2,21 @@
 
 // Versioned, self-describing engine checkpoints (sim layer).
 //
-// A checkpoint is a small text document that fully determines a running
-// simulation — which engine, on which graph, in which dynamical state —
-// so a multi-million-round sweep can stop, move hosts, and resume
-// bit-exactly. The format:
+// A checkpoint is a document that fully determines a running simulation —
+// which engine, on which graph, in which dynamical state — so a
+// multi-million-round sweep can stop, move hosts, and resume bit-exactly.
+// Two wire formats share one header convention:
 //
 //   rr-ckpt v1 engine=<engine-name> graph=<graph-descriptor>
 //   <key>=<value>          (engine state fields, sim/state_io.hpp)
 //   ...
 //   end
+//
+// and `rr-ckpt v2`, same header line followed by delta/varint binary
+// frames with per-frame CRC32 and a footer index (sim/ckpt_v2.hpp has
+// the full wire spec). v1 stays fully supported for interop — both
+// directions — and readers sniff the version from the magic, so every
+// consumer accepts either.
 //
 // The header names the engine backend (sim::Engine::engine_name) and the
 // substrate (graph/descriptor.hpp), making the document sufficient to
@@ -22,13 +28,17 @@
 // backend by name.
 //
 // Correctness contract (enforced by the differential harness's
-// save→load→continue lane): for every backend, a run checkpointed at any
-// round and resumed in a fresh process produces per-round config_hash,
-// visits, and cover times identical to the uninterrupted run.
+// save→load→continue lane, which alternates formats): for every backend,
+// a run checkpointed at any round and resumed in a fresh process
+// produces per-round config_hash, visits, and cover times identical to
+// the uninterrupted run — in either format.
 //
-// Parsing is total: malformed headers, bodies, or descriptors yield
-// nullopt/nullptr, never an abort (checkpoints are external input).
+// Parsing is total: malformed headers, bodies, frames, or descriptors
+// yield nullopt/nullptr, never an abort (checkpoints are external
+// input).
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -42,11 +52,25 @@ namespace rr::sim {
 
 inline constexpr const char* kCheckpointMagic = "rr-ckpt v1";
 
-/// Serializes a running engine. `graph_descriptor` names the substrate
-/// (graph/descriptor.hpp text form; "ring <n>" for the ring engines).
-/// The engine must implement sim::StateIO (all in-tree backends do).
+/// Checkpoint wire format selector. v1: self-describing text, ~20
+/// bytes/node, one frame. v2: delta/varint binary, ~3-6 bytes/node on
+/// lattice topologies, parallel frames (sim/ckpt_v2.hpp).
+enum class CkptFormat { kV1, kV2 };
+
+/// Serializes a running engine as rr-ckpt v1. `graph_descriptor` names
+/// the substrate (graph/descriptor.hpp text form; "ring <n>" for the
+/// ring engines). The engine must implement sim::StateIO (all in-tree
+/// backends do).
 std::string write_checkpoint(const Engine& engine,
                              const std::string& graph_descriptor);
+
+/// Format-selecting variant. For kV2, `segments` is the per-node frame
+/// count (0 picks a default aligned with `pool`'s width) and frames
+/// encode in parallel on `pool` when given.
+std::string write_checkpoint(const Engine& engine,
+                             const std::string& graph_descriptor,
+                             CkptFormat format, std::uint32_t segments = 0,
+                             ThreadPool* pool = nullptr);
 
 /// A parsed checkpoint: header fields plus the state body.
 struct ParsedCheckpoint {
@@ -55,8 +79,14 @@ struct ParsedCheckpoint {
   StateReader state;             ///< body fields
 };
 
-/// Splits and validates the document; nullopt on any malformed framing.
+/// Splits and validates an in-memory document (either format, sniffed
+/// from the magic); nullopt on any malformed framing.
 std::optional<ParsedCheckpoint> parse_checkpoint(const std::string& text);
+
+/// Streaming file parse: reads the document incrementally (v1 line by
+/// line, v2 frame by frame via the footer index), so peak memory is
+/// O(largest frame/field), not O(file).
+std::optional<ParsedCheckpoint> parse_checkpoint_file(const std::string& path);
 
 /// Rebuilds the graph, instantiates the named backend, and restores the
 /// state. nullptr on malformed input, unknown engine, or a state body
@@ -77,20 +107,38 @@ std::unique_ptr<Engine> restore_checkpoint_sharded(
     const ParsedCheckpoint& parsed, std::uint32_t shards,
     ThreadPool* pool = nullptr);
 
-/// File convenience wrappers (whole-file read/write).
+/// Streaming parse + sharded restore in one call.
+std::unique_ptr<Engine> restore_checkpoint_file(const std::string& path,
+                                                std::uint32_t shards = 1,
+                                                ThreadPool* pool = nullptr);
+
+/// File convenience wrappers (whole-buffer write / read).
 bool save_checkpoint_file(const std::string& path, const std::string& text);
-/// Crash-safe variant for auto-checkpointing: writes `path`.tmp, then
-/// renames over `path`, so a reader (or a crash) never observes a
-/// half-written document.
+/// Crash-safe variant for auto-checkpointing: writes `path`.tmp, fsyncs,
+/// then renames over `path`, so a reader (or a crash, or a disk that
+/// fills mid-frame) never observes a half-written document — on any
+/// failure the previous checkpoint at `path` is left intact and the tmp
+/// file is removed.
 bool save_checkpoint_file_atomic(const std::string& path,
                                  const std::string& text);
 std::optional<std::string> read_text_file(const std::string& path);
 
 /// Sink for Engine::set_auto_checkpoint: serializes the engine against
-/// `graph_descriptor` and saves it atomically to `path` on every fire.
-/// Write failures are silently ignored (auto-checkpointing is best-effort
-/// crash tolerance; the run itself must not die because a disk filled).
+/// `graph_descriptor` in `format` (v2 by default — auto-checkpointing is
+/// the hot path the binary codec exists for) and saves it atomically to
+/// `path` on every fire. Write failures are silently ignored
+/// (auto-checkpointing is best-effort crash tolerance; the run itself
+/// must not die because a disk filled).
 std::function<void(const Engine&)> checkpoint_file_sink(
-    std::string path, std::string graph_descriptor);
+    std::string path, std::string graph_descriptor,
+    CkptFormat format = CkptFormat::kV2, ThreadPool* pool = nullptr);
+
+namespace detail {
+/// Test-only fault injection for save_checkpoint_file_atomic: when set
+/// below SIZE_MAX, at most this many bytes reach the tmp file before the
+/// write reports failure — simulating ENOSPC / a short write mid-frame.
+/// The fault-injection test asserts the previous checkpoint survives.
+extern std::size_t g_atomic_write_cap;
+}  // namespace detail
 
 }  // namespace rr::sim

@@ -1,0 +1,787 @@
+#include "sim/ckpt_v2.hpp"
+
+#include <array>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/require.hpp"
+#include "sim/thread_pool.hpp"
+#include "sim/wire.hpp"
+
+namespace rr::sim {
+
+namespace {
+
+enum : std::uint8_t {
+  kTagRaw = 0,
+  kTagU64 = 1,
+  kTagListDelta = 2,
+  kTagDirs = 3,
+  kTagBits = 4,
+  kTagPairs = 5,
+  kTagListRle = 6,
+};
+
+constexpr std::size_t kFooterEntryBytes = 40;
+constexpr std::size_t kFooterTailBytes = 16;  // num_frames, crc, magic
+constexpr std::size_t kMaxKeyBytes = 255;
+constexpr std::uint32_t kDefaultSegments = 4;
+
+// ---- encoding ----
+
+void put_field_header(std::string& out, const std::string& key,
+                      std::uint8_t tag) {
+  RR_REQUIRE(!key.empty() && key.size() <= kMaxKeyBytes,
+             "state field key must be 1..255 bytes");
+  wire::put_varint(out, key.size());
+  out.append(key);
+  out.push_back(static_cast<char>(tag));
+}
+
+/// Run-length state machine behind the list codec. feed(v) consumes one
+/// element; emit() then writes either the delta-RLE payload (tag 6,
+/// built incrementally during feeding) or the plain delta stream
+/// (tag 2, re-encoded from the accessor only when it is actually
+/// smaller — the plain size is tracked per run, not per element). The
+/// feed/emit split lets the frame encoder below interleave several
+/// fields in one pass over the node range. Delta baseline is 0 so every
+/// segment stands alone.
+class ListSegmentEncoder {
+ public:
+  void feed(std::uint64_t v) {
+    const std::uint64_t d = v - prev_;
+    prev_ = v;
+    if (run_len_ > 0 && d == run_delta_) {
+      ++run_len_;
+      return;
+    }
+    if (run_len_ > 0) close_run();
+    run_delta_ = d;
+    run_len_ = 1;
+  }
+
+  /// `at` must replay the values fed, in order (used for the plain-delta
+  /// fallback). Exactly end - begin elements must have been fed.
+  template <typename At>
+  void emit(std::string& out, const std::string& key, At&& at,
+            std::uint64_t begin, std::uint64_t end) {
+    if (run_len_ > 0) close_run();
+    const bool use_rle = rle_.size() < delta_size_;
+    put_field_header(out, key, use_rle ? kTagListRle : kTagListDelta);
+    wire::put_varint(out, end - begin);
+    if (use_rle) {
+      out.append(rle_);
+      return;
+    }
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const std::uint64_t v = at(i);
+      wire::put_varint(out, wire::zigzag(v - prev));
+      prev = v;
+    }
+  }
+
+  /// Appends one completed (delta, length) run directly. The fused
+  /// frame encoder below tracks run state in registers and calls in
+  /// only at run boundaries; must not be interleaved with feed() on the
+  /// same instance.
+  void add_run(std::uint64_t delta, std::uint64_t len) {
+    delta_size_ += len * wire::varint_size(wire::zigzag(delta));
+    wire::put_varint(rle_, len);
+    wire::put_varint(rle_, wire::zigzag(delta));
+  }
+
+ private:
+  void close_run() {
+    add_run(run_delta_, run_len_);
+    run_len_ = 0;
+  }
+
+  std::string rle_;
+  std::size_t delta_size_ = 0;
+  std::uint64_t prev_ = 0;
+  std::uint64_t run_delta_ = 0;
+  std::uint64_t run_len_ = 0;
+};
+
+/// Encodes at(i) for i in [begin, end) as one list segment. `at` is any
+/// indexable accessor — a vector, or a StateWriter list view reading
+/// engine state lazily.
+template <typename At>
+void encode_list_segment(std::string& out, const std::string& key, At&& at,
+                         std::uint64_t begin, std::uint64_t end) {
+  ListSegmentEncoder enc;
+  for (std::uint64_t i = begin; i < end; ++i) enc.feed(at(i));
+  enc.emit(out, key, at, begin, end);
+}
+
+/// Reads strided view element i with a width-dispatched raw load.
+inline std::uint64_t strided_at(const WriterField& f, std::uint64_t i) {
+  if (f.view_width == 4) {
+    std::uint32_t v;
+    __builtin_memcpy(&v, f.view_base + i * f.view_stride, 4);
+    return v;
+  }
+  std::uint64_t v;
+  __builtin_memcpy(&v, f.view_base + i * f.view_stride, 8);
+  return v;
+}
+
+/// emit() for a strided view field whose elements were already fed.
+void emit_strided_segment(std::string& out, const WriterField& f,
+                          ListSegmentEncoder& enc, std::uint64_t begin,
+                          std::uint64_t end) {
+  enc.emit(
+      out, f.key, [&f](std::uint64_t i) { return strided_at(f, i); }, begin,
+      end);
+}
+
+struct StridedCol {
+  const unsigned char* base = nullptr;
+  std::size_t stride = 0;
+  std::uint8_t width = 0;
+};
+
+/// Feeds N strided columns through their encoders in one interleaved
+/// pass over [begin, end): node i's columns share cache lines, so this
+/// touches the engine state once instead of once per field. N is a
+/// compile-time constant and the run state lives in local arrays, so
+/// the inner loop unrolls with everything hot in registers — the
+/// encoders are only reached at run boundaries (add_run).
+template <std::size_t N>
+void feed_strided_columns(const std::array<StridedCol, N> cols,
+                          ListSegmentEncoder* encs, std::uint64_t begin,
+                          std::uint64_t end) {
+  std::uint64_t prev[N] = {};
+  std::uint64_t run_delta[N] = {};
+  std::uint64_t run_len[N] = {};
+  for (std::uint64_t i = begin; i < end; ++i) {
+    for (std::size_t k = 0; k < N; ++k) {
+      std::uint64_t v;
+      if (cols[k].width == 4) {
+        std::uint32_t narrow;
+        __builtin_memcpy(&narrow, cols[k].base + i * cols[k].stride, 4);
+        v = narrow;
+      } else {
+        __builtin_memcpy(&v, cols[k].base + i * cols[k].stride, 8);
+      }
+      const std::uint64_t d = v - prev[k];
+      prev[k] = v;
+      if (run_len[k] != 0 && d == run_delta[k]) {
+        ++run_len[k];
+        continue;
+      }
+      if (run_len[k] != 0) encs[k].add_run(run_delta[k], run_len[k]);
+      run_delta[k] = d;
+      run_len[k] = 1;
+    }
+  }
+  for (std::size_t k = 0; k < N; ++k) {
+    if (run_len[k] != 0) encs[k].add_run(run_delta[k], run_len[k]);
+  }
+}
+
+/// Dispatches the fused pass to a fixed-N instantiation (the rotor
+/// engines serialize 6 strided columns; other small counts get their
+/// own unrolled body). Returns false above the dispatch limit — the
+/// caller then falls back to per-field feeding.
+bool feed_strided_fields(const std::vector<const WriterField*>& strided,
+                         std::vector<ListSegmentEncoder>& encs,
+                         std::uint64_t begin, std::uint64_t end) {
+  const auto dispatch = [&](auto n_const) {
+    constexpr std::size_t kN = decltype(n_const)::value;
+    std::array<StridedCol, kN> cols;
+    for (std::size_t k = 0; k < kN; ++k) {
+      cols[k] = {strided[k]->view_base, strided[k]->view_stride,
+                 strided[k]->view_width};
+    }
+    feed_strided_columns<kN>(cols, encs.data(), begin, end);
+  };
+  switch (strided.size()) {
+    case 1: dispatch(std::integral_constant<std::size_t, 1>{}); return true;
+    case 2: dispatch(std::integral_constant<std::size_t, 2>{}); return true;
+    case 3: dispatch(std::integral_constant<std::size_t, 3>{}); return true;
+    case 4: dispatch(std::integral_constant<std::size_t, 4>{}); return true;
+    case 5: dispatch(std::integral_constant<std::size_t, 5>{}); return true;
+    case 6: dispatch(std::integral_constant<std::size_t, 6>{}); return true;
+    case 7: dispatch(std::integral_constant<std::size_t, 7>{}); return true;
+    case 8: dispatch(std::integral_constant<std::size_t, 8>{}); return true;
+    default: return false;
+  }
+}
+
+/// Dispatches a view field to encode_list_segment with a concrete,
+/// inlinable accessor: strided raw loads for the struct-of-arrays fast
+/// path, the type-erased functor otherwise.
+void encode_view_segment(std::string& out, const WriterField& f,
+                         std::uint64_t begin, std::uint64_t end) {
+  if (f.view_base != nullptr) {
+    const unsigned char* base = f.view_base;
+    const std::uint32_t stride = f.view_stride;
+    if (f.view_width == 4) {
+      encode_list_segment(
+          out, f.key,
+          [base, stride](std::uint64_t i) {
+            std::uint32_t v;
+            __builtin_memcpy(&v, base + i * stride, 4);
+            return static_cast<std::uint64_t>(v);
+          },
+          begin, end);
+    } else {
+      encode_list_segment(
+          out, f.key,
+          [base, stride](std::uint64_t i) {
+            std::uint64_t v;
+            __builtin_memcpy(&v, base + i * stride, 8);
+            return v;
+          },
+          begin, end);
+    }
+    return;
+  }
+  encode_list_segment(out, f.key, f.view, begin, end);
+}
+
+void encode_symbols_segment(std::string& out, const std::string& key,
+                            std::uint8_t tag,
+                            const std::vector<std::uint8_t>& symbols,
+                            std::uint64_t begin, std::uint64_t end) {
+  put_field_header(out, key, tag);
+  const std::uint64_t count = end - begin;
+  wire::put_varint(out, count);
+  std::uint8_t byte = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (symbols[begin + i]) byte |= static_cast<std::uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      out.push_back(static_cast<char>(byte));
+      byte = 0;
+    }
+  }
+  if (count % 8 != 0) out.push_back(static_cast<char>(byte));
+}
+
+void encode_field(std::string& out, const WriterField& f) {
+  switch (f.kind) {
+    case WriterField::Kind::kRaw:
+      put_field_header(out, f.key, kTagRaw);
+      wire::put_varint(out, f.raw.size());
+      out.append(f.raw);
+      break;
+    case WriterField::Kind::kU64:
+      put_field_header(out, f.key, kTagU64);
+      wire::put_varint(out, f.scalar);
+      break;
+    case WriterField::Kind::kU64List:
+      encode_list_segment(
+          out, f.key, [&f](std::uint64_t i) { return f.list[i]; }, 0,
+          f.list.size());
+      break;
+    case WriterField::Kind::kU64ListView:
+      encode_view_segment(out, f, 0, f.view_size);
+      break;
+    case WriterField::Kind::kDirs:
+      encode_symbols_segment(out, f.key, kTagDirs, f.symbols, 0,
+                             f.symbols.size());
+      break;
+    case WriterField::Kind::kBits:
+      encode_symbols_segment(out, f.key, kTagBits, f.symbols, 0,
+                             f.symbols.size());
+      break;
+    case WriterField::Kind::kPairs: {
+      put_field_header(out, f.key, kTagPairs);
+      wire::put_varint(out, f.pairs.size());
+      std::uint64_t prev_index = 0;
+      for (std::size_t i = 0; i < f.pairs.size(); ++i) {
+        const auto [index, value] = f.pairs[i];
+        if (i == 0) {
+          wire::put_varint(out, index);
+        } else {
+          RR_REQUIRE(index > prev_index,
+                     "pair indices must be strictly increasing");
+          wire::put_varint(out, index - prev_index);
+        }
+        prev_index = index;
+        wire::put_varint(out, value);
+      }
+      break;
+    }
+  }
+}
+
+/// True for fields the codec shards across per-node frames.
+bool is_per_node(const WriterField& f, std::uint64_t num_nodes) {
+  if (num_nodes == 0) return false;
+  switch (f.kind) {
+    case WriterField::Kind::kU64List:
+      return f.list.size() == num_nodes;
+    case WriterField::Kind::kU64ListView:
+      return f.view_size == num_nodes;
+    case WriterField::Kind::kDirs:
+    case WriterField::Kind::kBits:
+      return f.symbols.size() == num_nodes;
+    default:
+      return false;
+  }
+}
+
+// ---- decoding ----
+
+/// One field as decoded from a single frame (per-node fields carry one
+/// segment here; the assembler concatenates across frames).
+struct DecodedField {
+  std::string key;
+  std::uint8_t tag = 0;
+  ReaderValue value;
+};
+
+/// Scans `count` varints without materializing them; false on any
+/// malformed varint. Advances *pos past the run.
+bool scan_varints(const std::uint8_t* data, std::size_t size, std::size_t* pos,
+                  std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!wire::get_varint(data, size, pos)) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<DecodedField>> decode_frame(const std::uint8_t* data,
+                                                      std::size_t size) {
+  std::vector<DecodedField> out;
+  std::size_t pos = 0;
+  while (pos < size) {
+    const auto key_len = wire::get_varint(data, size, &pos);
+    if (!key_len || *key_len == 0 || *key_len > kMaxKeyBytes ||
+        *key_len > size - pos) {
+      return std::nullopt;
+    }
+    DecodedField field;
+    field.key.assign(reinterpret_cast<const char*>(data + pos),
+                     static_cast<std::size_t>(*key_len));
+    pos += static_cast<std::size_t>(*key_len);
+    if (pos >= size) return std::nullopt;
+    field.tag = data[pos++];
+    switch (field.tag) {
+      case kTagRaw: {
+        const auto len = wire::get_varint(data, size, &pos);
+        if (!len || *len > size - pos) return std::nullopt;
+        field.value.kind = ReaderValue::Kind::kText;
+        field.value.text.assign(reinterpret_cast<const char*>(data + pos),
+                                static_cast<std::size_t>(*len));
+        pos += static_cast<std::size_t>(*len);
+        break;
+      }
+      case kTagU64: {
+        const auto v = wire::get_varint(data, size, &pos);
+        if (!v) return std::nullopt;
+        field.value.kind = ReaderValue::Kind::kU64;
+        field.value.scalar = *v;
+        break;
+      }
+      case kTagListDelta:
+      case kTagListRle: {
+        const auto count = wire::get_varint(data, size, &pos);
+        if (!count) return std::nullopt;
+        const std::size_t payload_start = pos;
+        if (field.tag == kTagListDelta) {
+          // Each element is at least one byte; fail fast on a count that
+          // cannot fit the remaining frame.
+          if (*count > size - pos) return std::nullopt;
+          if (!scan_varints(data, size, &pos, *count)) return std::nullopt;
+        } else {
+          // RLE: scan (runlen, delta) runs until the declared count is
+          // covered. Each run costs >= 2 payload bytes, so the loop is
+          // bounded by the frame size no matter what `count` claims.
+          std::uint64_t produced = 0;
+          while (produced < *count) {
+            const auto run = wire::get_varint(data, size, &pos);
+            if (!run || *run == 0 || *run > *count - produced) {
+              return std::nullopt;
+            }
+            if (!wire::get_varint(data, size, &pos)) return std::nullopt;
+            produced += *run;
+          }
+        }
+        field.value.kind = ReaderValue::Kind::kPackedList;
+        PackedSegment seg;
+        seg.count = *count;
+        seg.enc = field.tag == kTagListRle ? 1 : 0;
+        seg.bytes.assign(reinterpret_cast<const char*>(data + payload_start),
+                         pos - payload_start);
+        field.value.segs.push_back(std::move(seg));
+        break;
+      }
+      case kTagDirs:
+      case kTagBits: {
+        const auto count = wire::get_varint(data, size, &pos);
+        if (!count) return std::nullopt;
+        const std::uint64_t nbytes = (*count + 7) / 8;
+        if (nbytes > size - pos) return std::nullopt;
+        field.value.kind = ReaderValue::Kind::kPackedSymbols;
+        PackedSegment seg;
+        seg.count = *count;
+        seg.enc = field.tag == kTagBits ? 1 : 0;
+        seg.bytes.assign(reinterpret_cast<const char*>(data + pos),
+                         static_cast<std::size_t>(nbytes));
+        field.value.segs.push_back(std::move(seg));
+        pos += static_cast<std::size_t>(nbytes);
+        break;
+      }
+      case kTagPairs: {
+        const auto count = wire::get_varint(data, size, &pos);
+        // Every pair consumes at least two payload bytes.
+        if (!count || *count > (size - pos) / 2) return std::nullopt;
+        field.value.kind = ReaderValue::Kind::kPairs;
+        field.value.pair_list.reserve(static_cast<std::size_t>(*count));
+        std::uint64_t index = 0;
+        for (std::uint64_t i = 0; i < *count; ++i) {
+          const auto step = wire::get_varint(data, size, &pos);
+          const auto value = wire::get_varint(data, size, &pos);
+          if (!step || !value) return std::nullopt;
+          if (i == 0) {
+            index = *step;
+          } else {
+            if (*step == 0 || *step > ~std::uint64_t{0} - index) {
+              return std::nullopt;  // non-increasing or overflowing index
+            }
+            index += *step;
+          }
+          field.value.pair_list.emplace_back(index, *value);
+        }
+        break;
+      }
+      default:
+        return std::nullopt;  // unknown tag
+    }
+    out.push_back(std::move(field));
+  }
+  return out;
+}
+
+// An empty pairs field must decode back to kPairs (not fail): count 0 is
+// written by engines with no agents parked. decode_frame above handles
+// it explicitly.
+
+struct FrameEntry {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Parses and validates the footer from the last `tail_size` bytes of
+/// the document body region. `body_plus_footer` is the total byte count
+/// after the header line. On success *body_size is the frame region
+/// size and the entries are offset-contiguous and node-contiguous.
+std::optional<std::vector<FrameEntry>> parse_footer(
+    const std::uint8_t* tail, std::size_t tail_size,
+    std::uint64_t body_plus_footer, std::uint64_t* body_size) {
+  if (tail_size < kFooterTailBytes) return std::nullopt;
+  if (wire::get_u64le(tail + tail_size - 8) != kV2TrailerMagic) {
+    return std::nullopt;
+  }
+  const std::uint32_t num_frames = wire::get_u32le(tail + tail_size - 16);
+  const std::uint32_t stored_crc = wire::get_u32le(tail + tail_size - 12);
+  if (num_frames == 0) return std::nullopt;
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(num_frames) * kFooterEntryBytes;
+  if (table_bytes + kFooterTailBytes > body_plus_footer ||
+      table_bytes + kFooterTailBytes > tail_size) {
+    return std::nullopt;
+  }
+  const std::uint8_t* table =
+      tail + tail_size - kFooterTailBytes - table_bytes;
+  if (wire::crc32(table, table_bytes + 4) != stored_crc) return std::nullopt;
+
+  *body_size = body_plus_footer - table_bytes - kFooterTailBytes;
+  std::vector<FrameEntry> entries(num_frames);
+  std::uint64_t next_offset = 0;
+  std::uint64_t next_node = 0;
+  for (std::uint32_t i = 0; i < num_frames; ++i) {
+    const std::uint8_t* e = table + i * kFooterEntryBytes;
+    FrameEntry& entry = entries[i];
+    entry.offset = wire::get_u64le(e);
+    entry.length = wire::get_u64le(e + 8);
+    entry.begin = wire::get_u64le(e + 16);
+    entry.end = wire::get_u64le(e + 24);
+    entry.crc = wire::get_u32le(e + 32);
+    if (wire::get_u32le(e + 36) != 0) return std::nullopt;  // reserved
+    // Frames tile the body contiguously, in order — the canonical layout
+    // the encoder produces; anything else is malformed or crafted.
+    if (entry.offset != next_offset || entry.length > *body_size - next_offset) {
+      return std::nullopt;
+    }
+    next_offset += entry.length;
+    if (i == 0) {
+      if (entry.begin != 0 || entry.end != 0) return std::nullopt;
+    } else {
+      if (entry.begin != next_node || entry.end <= entry.begin) {
+        return std::nullopt;
+      }
+      next_node = entry.end;
+    }
+  }
+  if (next_offset != *body_size) return std::nullopt;
+  return entries;
+}
+
+/// Re-assembles per-frame decodes into one field list: frame 0 fields
+/// verbatim, per-node fields stitched segment by segment. Frames must be
+/// added in index order.
+class Assembler {
+ public:
+  bool add_frame(std::size_t index, const FrameEntry& entry,
+                 std::vector<DecodedField> fields) {
+    if (index == 0) {
+      for (DecodedField& f : fields) {
+        fields_.emplace_back(std::move(f.key), std::move(f.value));
+      }
+      frame0_fields_ = fields_.size();
+      return true;
+    }
+    const std::uint64_t span = entry.end - entry.begin;
+    if (index == 1) {
+      // First per-node frame fixes the key/kind sequence. (The exact
+      // list tag may differ per segment — the writer picks delta or RLE
+      // independently for each range — so later frames match on the
+      // decoded kind, not the wire tag.)
+      for (DecodedField& f : fields) {
+        if (!segment_ok(f, span)) return false;
+        fields_.emplace_back(std::move(f.key), std::move(f.value));
+      }
+      per_node_fields_ = fields_.size() - frame0_fields_;
+      return true;
+    }
+    // Later frames must repeat the exact sequence, one segment each.
+    if (fields.size() != per_node_fields_) return false;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      DecodedField& f = fields[i];
+      auto& [key, value] = fields_[frame0_fields_ + i];
+      if (f.key != key || f.value.kind != value.kind || !segment_ok(f, span)) {
+        return false;
+      }
+      // Dirs and bits share the packed-symbols kind but are distinct
+      // types; their segments must agree.
+      if (value.kind == ReaderValue::Kind::kPackedSymbols &&
+          f.value.segs[0].enc != value.segs[0].enc) {
+        return false;
+      }
+      value.segs.push_back(std::move(f.value.segs[0]));
+    }
+    return true;
+  }
+
+  std::optional<StateReader> finish() {
+    return StateReader::from_fields(std::move(fields_));
+  }
+
+ private:
+  static bool segment_ok(const DecodedField& f, std::uint64_t span) {
+    // Per-node frames may only carry list/symbol segments, and each
+    // segment must cover exactly the frame's node range.
+    if (f.value.kind != ReaderValue::Kind::kPackedList &&
+        f.value.kind != ReaderValue::Kind::kPackedSymbols) {
+      return false;
+    }
+    return f.value.segs.size() == 1 && f.value.segs[0].count == span;
+  }
+
+  std::vector<std::pair<std::string, ReaderValue>> fields_;
+  std::size_t frame0_fields_ = 0;
+  std::size_t per_node_fields_ = 0;
+};
+
+}  // namespace
+
+// ---- public API ----
+
+std::string encode_checkpoint_v2(const std::string& engine_name,
+                                 const std::string& graph_descriptor,
+                                 const StateWriter& state,
+                                 std::uint64_t num_nodes,
+                                 std::uint32_t segments, ThreadPool* pool) {
+  std::string out = std::string(kCheckpointMagicV2) + " engine=" +
+                    engine_name + " graph=" + graph_descriptor + "\n";
+
+  std::vector<const WriterField*> frame0;
+  std::vector<const WriterField*> per_node;
+  for (const WriterField& f : state.fields()) {
+    (is_per_node(f, num_nodes) ? per_node : frame0).push_back(&f);
+  }
+  std::uint64_t nseg = segments > 0 ? segments : kDefaultSegments;
+  if (per_node.empty()) nseg = 0;
+  if (nseg > num_nodes) nseg = num_nodes;
+  const std::size_t num_frames = static_cast<std::size_t>(1 + nseg);
+
+  std::vector<std::string> frames(num_frames);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges(num_frames,
+                                                              {0, 0});
+  for (std::uint64_t j = 0; j < nseg; ++j) {
+    ranges[j + 1] = {num_nodes * j / nseg, num_nodes * (j + 1) / nseg};
+  }
+  const auto encode_one = [&](std::uint64_t j) {
+    std::string& frame = frames[j];
+    if (j == 0) {
+      for (const WriterField* f : frame0) encode_field(frame, *f);
+      return;
+    }
+    const auto [begin, end] = ranges[j];
+    // Strided view fields (the rotor engines' struct-of-arrays state)
+    // are fed in one interleaved unrolled pass: node i's columns share
+    // cache lines, so feeding every field per node touches the engine
+    // state once instead of once per field — at 1e8 nodes that is the
+    // difference between a cache-resident and a memory-bound save.
+    // Emission below stays in declaration order, so the bytes are
+    // identical to per-field encoding.
+    std::vector<const WriterField*> strided;
+    for (const WriterField* f : per_node) {
+      if (f->kind == WriterField::Kind::kU64ListView &&
+          f->view_base != nullptr) {
+        strided.push_back(f);
+      }
+    }
+    std::vector<ListSegmentEncoder> encoders(strided.size());
+    const bool fused =
+        !strided.empty() && feed_strided_fields(strided, encoders, begin, end);
+    std::size_t next_strided = 0;
+    for (const WriterField* f : per_node) {
+      if (f->kind == WriterField::Kind::kU64List) {
+        encode_list_segment(
+            frame, f->key, [f](std::uint64_t i) { return f->list[i]; }, begin,
+            end);
+      } else if (f->kind == WriterField::Kind::kU64ListView) {
+        if (fused && f->view_base != nullptr) {
+          emit_strided_segment(frame, *f, encoders[next_strided++], begin,
+                               end);
+        } else {
+          encode_view_segment(frame, *f, begin, end);
+        }
+      } else {
+        encode_symbols_segment(
+            frame, f->key,
+            f->kind == WriterField::Kind::kDirs ? kTagDirs : kTagBits,
+            f->symbols, begin, end);
+      }
+    }
+  };
+  if (pool != nullptr && num_frames > 1) {
+    pool->for_each(num_frames, encode_one, /*chunk=*/1);
+  } else {
+    for (std::uint64_t j = 0; j < num_frames; ++j) encode_one(j);
+  }
+
+  std::string tail;
+  tail.reserve(num_frames * kFooterEntryBytes + kFooterTailBytes);
+  std::uint64_t offset = 0;
+  for (std::size_t j = 0; j < num_frames; ++j) {
+    wire::put_u64le(tail, offset);
+    wire::put_u64le(tail, frames[j].size());
+    wire::put_u64le(tail, ranges[j].first);
+    wire::put_u64le(tail, ranges[j].second);
+    wire::put_u32le(tail, wire::crc32(frames[j].data(), frames[j].size()));
+    wire::put_u32le(tail, 0);
+    offset += frames[j].size();
+  }
+  wire::put_u32le(tail, static_cast<std::uint32_t>(num_frames));
+  const std::uint32_t table_crc = wire::crc32(tail.data(), tail.size());
+  wire::put_u32le(tail, table_crc);
+  wire::put_u64le(tail, kV2TrailerMagic);
+
+  std::size_t total = out.size() + tail.size();
+  for (const std::string& frame : frames) total += frame.size();
+  out.reserve(total);
+  for (const std::string& frame : frames) out.append(frame);
+  out.append(tail);
+  return out;
+}
+
+std::optional<StateReader> decode_checkpoint_v2_body(const std::uint8_t* data,
+                                                     std::size_t size,
+                                                     ThreadPool* pool) {
+  std::uint64_t body_size = 0;
+  const auto entries = parse_footer(data, size, size, &body_size);
+  if (!entries) return std::nullopt;
+
+  std::vector<std::optional<std::vector<DecodedField>>> decoded(
+      entries->size());
+  const auto decode_one = [&](std::uint64_t i) {
+    const FrameEntry& e = (*entries)[i];
+    const std::uint8_t* frame = data + e.offset;
+    if (wire::crc32(frame, e.length) != e.crc) return;  // stays nullopt
+    decoded[i] = decode_frame(frame, static_cast<std::size_t>(e.length));
+  };
+  if (pool != nullptr && entries->size() > 1) {
+    pool->for_each(entries->size(), decode_one, /*chunk=*/1);
+  } else {
+    for (std::uint64_t i = 0; i < entries->size(); ++i) decode_one(i);
+  }
+
+  Assembler assembler;
+  for (std::size_t i = 0; i < entries->size(); ++i) {
+    if (!decoded[i]) return std::nullopt;
+    if (!assembler.add_frame(i, (*entries)[i], std::move(*decoded[i]))) {
+      return std::nullopt;
+    }
+  }
+  return assembler.finish();
+}
+
+std::optional<StateReader> decode_checkpoint_v2_file(std::FILE* f,
+                                                     std::uint64_t body_offset,
+                                                     std::uint64_t file_size) {
+  if (file_size < body_offset ||
+      file_size - body_offset < kFooterTailBytes) {
+    return std::nullopt;
+  }
+  const std::uint64_t body_plus_footer = file_size - body_offset;
+
+  // Footer tail first (num_frames tells us how much table to read), then
+  // the table itself — both O(num_frames), not O(file).
+  std::uint8_t tail16[kFooterTailBytes];
+  if (std::fseek(f, static_cast<long>(file_size - kFooterTailBytes),
+                 SEEK_SET) != 0 ||
+      std::fread(tail16, 1, kFooterTailBytes, f) != kFooterTailBytes) {
+    return std::nullopt;
+  }
+  if (wire::get_u64le(tail16 + 8) != kV2TrailerMagic) return std::nullopt;
+  const std::uint32_t num_frames = wire::get_u32le(tail16);
+  if (num_frames == 0) return std::nullopt;
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(num_frames) * kFooterEntryBytes;
+  if (table_bytes + kFooterTailBytes > body_plus_footer) return std::nullopt;
+
+  std::vector<std::uint8_t> footer(
+      static_cast<std::size_t>(table_bytes + kFooterTailBytes));
+  if (std::fseek(f,
+                 static_cast<long>(file_size - table_bytes - kFooterTailBytes),
+                 SEEK_SET) != 0 ||
+      std::fread(footer.data(), 1, footer.size(), f) != footer.size()) {
+    return std::nullopt;
+  }
+  std::uint64_t body_size = 0;
+  const auto entries =
+      parse_footer(footer.data(), footer.size(), body_plus_footer, &body_size);
+  if (!entries) return std::nullopt;
+
+  Assembler assembler;
+  std::vector<std::uint8_t> frame;
+  for (std::size_t i = 0; i < entries->size(); ++i) {
+    const FrameEntry& e = (*entries)[i];
+    frame.resize(static_cast<std::size_t>(e.length));
+    if (std::fseek(f, static_cast<long>(body_offset + e.offset), SEEK_SET) !=
+            0 ||
+        std::fread(frame.data(), 1, frame.size(), f) != frame.size()) {
+      return std::nullopt;
+    }
+    if (wire::crc32(frame.data(), frame.size()) != e.crc) return std::nullopt;
+    auto fields = decode_frame(frame.data(), frame.size());
+    if (!fields || !assembler.add_frame(i, e, std::move(*fields))) {
+      return std::nullopt;
+    }
+  }
+  return assembler.finish();
+}
+
+}  // namespace rr::sim

@@ -113,11 +113,19 @@ class BenchJsonWriter {
 
   /// One repetition's throughput sample (items per second).
   void add(const std::string& name, double items_per_second) {
+    add_metric(name, "items_per_second", items_per_second);
+  }
+
+  /// One repetition's sample under an arbitrary metric key (e.g.
+  /// "bytes_per_node", "rss_bytes"); tools/bench_diff.py knows each key's
+  /// regression direction.
+  void add_metric(const std::string& name, const std::string& key,
+                  double value) {
     if (!enabled()) return;
     if (!entries_.empty()) entries_ += ",\n";
     entries_ += "    {\"name\": \"" + name + "\", \"run_type\": " +
-                "\"iteration\", \"items_per_second\": " +
-                std::to_string(items_per_second) + "}";
+                "\"iteration\", \"" + key + "\": " + std::to_string(value) +
+                "}";
   }
 
   ~BenchJsonWriter() {

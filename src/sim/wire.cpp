@@ -1,0 +1,53 @@
+#include "sim/wire.hpp"
+
+#include <array>
+
+namespace rr::sim::wire {
+namespace {
+
+// 8 slicing tables, 256 entries each, built once at first use. Table 0 is
+// the classic byte-at-a-time CRC32 table; table k extends it by k zero
+// bytes, letting the hot loop fold 8 input bytes per iteration.
+struct Crc32Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Crc32Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c >> 1) ^ ((c & 1) ? 0xEDB88320u : 0u);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (int k = 1; k < 8; ++k)
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+  }
+};
+
+const Crc32Tables& tables() {
+  static const Crc32Tables tabs;
+  return tabs;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto& tab = tables().t;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = ~seed;
+  while (size >= 8) {
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(p[0]) |
+                                  static_cast<std::uint32_t>(p[1]) << 8 |
+                                  static_cast<std::uint32_t>(p[2]) << 16 |
+                                  static_cast<std::uint32_t>(p[3]) << 24);
+    c = tab[7][lo & 0xFF] ^ tab[6][(lo >> 8) & 0xFF] ^
+        tab[5][(lo >> 16) & 0xFF] ^ tab[4][lo >> 24] ^
+        tab[3][p[4]] ^ tab[2][p[5]] ^ tab[1][p[6]] ^ tab[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size--) c = (c >> 8) ^ tab[0][(c ^ *p++) & 0xFF];
+  return ~c;
+}
+
+}  // namespace rr::sim::wire

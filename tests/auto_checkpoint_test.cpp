@@ -155,6 +155,78 @@ TEST(AutoCheckpoint, EveryBackendFiresDuringRunAndRunUntilCovered) {
   }
 }
 
+TEST(AutoCheckpoint, TruncatedWriteLeavesPreviousCheckpointIntact) {
+  // Fault injection for save_checkpoint_file_atomic: cap the bytes that
+  // reach the tmp file (simulating ENOSPC mid-frame) and verify the save
+  // reports failure, the previous checkpoint at `path` survives byte for
+  // byte, and no .tmp residue is left behind. Exercised through the v2
+  // binary sink — a torn binary frame is the case the tmp + rename
+  // protocol exists for.
+  const auto descriptor = graph::GraphDescriptor::torus(8, 8);
+  const graph::Graph g = *descriptor.build();
+  const std::string path = temp_path("auto_ckpt_fault.rrc");
+  std::remove(path.c_str());
+
+  core::RotorRouter rr(g, {0, 17});
+  rr.run(64);
+  const std::string good =
+      write_checkpoint(rr, descriptor.text(), CkptFormat::kV2);
+  ASSERT_TRUE(save_checkpoint_file_atomic(path, good));
+
+  rr.run(64);
+  const std::string next =
+      write_checkpoint(rr, descriptor.text(), CkptFormat::kV2);
+  ASSERT_GT(next.size(), 100u);
+  detail::g_atomic_write_cap = next.size() / 2;  // torn mid-frame
+  EXPECT_FALSE(save_checkpoint_file_atomic(path, next));
+  detail::g_atomic_write_cap = ~std::size_t{0};
+
+  // The previous checkpoint is untouched and still restores.
+  const auto survived = read_text_file(path);
+  ASSERT_TRUE(survived.has_value());
+  EXPECT_EQ(*survived, good);
+  EXPECT_EQ(std::optional<std::string>{std::nullopt},
+            read_text_file(path + ".tmp"));
+  auto restored = restore_checkpoint(*survived);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->time(), 64u);
+
+  // With the fault cleared the same payload lands atomically.
+  ASSERT_TRUE(save_checkpoint_file_atomic(path, next));
+  EXPECT_EQ(read_text_file(path), std::optional<std::string>{next});
+  EXPECT_EQ(std::optional<std::string>{std::nullopt},
+            read_text_file(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(AutoCheckpoint, SinkSurvivesWriteFaultsAndRecovers) {
+  // The auto-checkpoint file sink is best-effort: a disk that fills for
+  // a few fires must not kill the run, and once the fault clears the
+  // sink overwrites the stale checkpoint on the next fire.
+  const auto descriptor = graph::GraphDescriptor::torus(6, 6);
+  const graph::Graph g = *descriptor.build();
+  const std::string path = temp_path("auto_ckpt_fault_sink.rrc");
+  std::remove(path.c_str());
+
+  core::RotorRouter rr(g, {0});
+  rr.set_auto_checkpoint(10, checkpoint_file_sink(path, descriptor.text()));
+  rr.run(10);  // good checkpoint at t=10
+  const auto good = read_text_file(path);
+  ASSERT_TRUE(good.has_value());
+
+  detail::g_atomic_write_cap = 16;
+  rr.run(20);  // fires at 20 and 30 both fail short
+  detail::g_atomic_write_cap = ~std::size_t{0};
+  EXPECT_EQ(read_text_file(path), good);  // t=10 state survives the faults
+
+  rr.run(10);  // fire at t=40 succeeds again
+  auto restored = restore_checkpoint_file(path);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->time(), 40u);
+  EXPECT_EQ(restored->config_hash(), rr.config_hash());
+  std::remove(path.c_str());
+}
+
 TEST(AutoCheckpoint, DisablingStopsFiring) {
   const graph::Graph g = graph::ring(16);
   core::RotorRouter rr(g, {0});

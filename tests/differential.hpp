@@ -137,8 +137,14 @@ inline Mismatch run_lockstep_with_restart(
   }
   for (std::uint64_t t = 0; t < rounds; ++t) {
     if (t == restart_round) {
+      // Alternate the wire format with the restart round so every
+      // scenario sweep gates both v1 text and v2 binary resume paths
+      // without any caller changes.
+      const sim::CkptFormat format = restart_round % 2 == 1
+                                         ? sim::CkptFormat::kV2
+                                         : sim::CkptFormat::kV1;
       const std::string text =
-          sim::write_checkpoint(*candidate, graph_descriptor);
+          sim::write_checkpoint(*candidate, graph_descriptor, format);
       candidate = sim::restore_checkpoint(text);
       if (!candidate) {
         return {false, reference.time(),

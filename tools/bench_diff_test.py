@@ -3,7 +3,8 @@
 
 bench_diff is CI-critical glue with no compiler watching over it: these
 tests pin the median folding (repetitions and aggregate rows), the
-regression threshold math, the exit-code contract (always 0 — the diff
+regression threshold math in both metric directions (throughput drops
+and bytes/node rises), the exit-code contract (always 0 — the diff
 annotates, it never gates), and robustness to unreadable input.
 """
 
@@ -26,8 +27,8 @@ def write_json(directory, name, benchmarks):
     return path
 
 
-def entry(name, rate, run_type="iteration"):
-    return {"name": name, "run_type": run_type, "items_per_second": rate}
+def entry(name, rate, run_type="iteration", metric="items_per_second"):
+    return {"name": name, "run_type": run_type, metric: rate}
 
 
 def run_main(argv):
@@ -49,8 +50,8 @@ class MedianFolding(unittest.TestCase):
                 entry("BM_X", 100.0), entry("BM_X", 300.0),
                 entry("BM_X", 200.0),
             ])
-            self.assertEqual(bench_diff.median_throughput(path),
-                             {"BM_X": 200.0})
+            self.assertEqual(bench_diff.median_metrics(path),
+                             {("BM_X", "items_per_second"): 200.0})
 
     def test_aggregate_rows_and_rateless_entries_skipped(self):
         with tempfile.TemporaryDirectory() as d:
@@ -59,8 +60,23 @@ class MedianFolding(unittest.TestCase):
                 entry("BM_X_median", 999.0, run_type="aggregate"),
                 {"name": "BM_NoRate", "run_type": "iteration"},
             ])
-            self.assertEqual(bench_diff.median_throughput(path),
-                             {"BM_X": 100.0})
+            self.assertEqual(bench_diff.median_metrics(path),
+                             {("BM_X", "items_per_second"): 100.0})
+
+    def test_metrics_fold_independently_per_key(self):
+        # One benchmark name can carry several metric keys (the ckpt IO
+        # bench publishes save throughput and bytes/node under one tag);
+        # each (name, metric) pair folds on its own.
+        with tempfile.TemporaryDirectory() as d:
+            path = write_json(d, "a.json", [
+                entry("CkptIO/v2", 5.0e7),
+                entry("CkptIO/v2", 2.4, metric="bytes_per_node"),
+                entry("CkptIO/v2", 2.6, metric="bytes_per_node"),
+            ])
+            self.assertEqual(bench_diff.median_metrics(path), {
+                ("CkptIO/v2", "items_per_second"): 5.0e7,
+                ("CkptIO/v2", "bytes_per_node"): 2.5,
+            })
 
 
 class RegressionFlagging(unittest.TestCase):
@@ -80,7 +96,7 @@ class RegressionFlagging(unittest.TestCase):
         code, out = self.diff(100.0, 95.0)
         self.assertEqual(code, 0)
         self.assertNotIn("::warning", out)
-        self.assertIn("no benchmark regressed", out)
+        self.assertIn("no benchmark metric regressed", out)
 
     def test_improvement_is_not_a_regression(self):
         code, out = self.diff(100.0, 150.0)
@@ -96,6 +112,33 @@ class RegressionFlagging(unittest.TestCase):
                 entry("BM_Old", 100.0),
                 entry("EulerianCirculation/torus/k8", 2.3e8),
             ])
+            code, out = run_main([prev, curr])
+            self.assertEqual(code, 0)
+            self.assertNotIn("::warning", out)
+
+    def test_lower_is_better_metric_regresses_on_rise(self):
+        # bytes_per_node growing past the threshold is a regression (the
+        # v2 codec losing its density) even though the number went *up*.
+        with tempfile.TemporaryDirectory() as d:
+            prev = write_json(d, "prev.json",
+                              [entry("CkptIO/v2", 2.4,
+                                     metric="bytes_per_node")])
+            curr = write_json(d, "curr.json",
+                              [entry("CkptIO/v2", 3.0,
+                                     metric="bytes_per_node")])
+            code, out = run_main([prev, curr])
+            self.assertEqual(code, 0)
+            self.assertIn("REGRESSION", out)
+            self.assertIn("rose", out)
+
+    def test_lower_is_better_metric_is_quiet_on_drop(self):
+        with tempfile.TemporaryDirectory() as d:
+            prev = write_json(d, "prev.json",
+                              [entry("CkptIO/v2", 3.0,
+                                     metric="bytes_per_node")])
+            curr = write_json(d, "curr.json",
+                              [entry("CkptIO/v2", 2.4,
+                                     metric="bytes_per_node")])
             code, out = run_main([prev, curr])
             self.assertEqual(code, 0)
             self.assertNotIn("::warning", out)
