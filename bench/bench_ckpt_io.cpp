@@ -276,5 +276,69 @@ int main() {
     }
     std::remove(image.c_str());
   }
+
+  // --- 4. Frame-parallel v2 load on a shared pool. ---
+  //
+  // v2 per-node frames are independently decodable (delta baselines
+  // restart per segment), so parse_checkpoint + deserialize_state can
+  // fan frame decode and per-segment state application across a
+  // ThreadPool. The result must be bit-identical to the sequential
+  // load; the speedup assertion only arms on multi-core hosts (a
+  // 1-core pool runs the same code inline).
+  {
+    const std::uint64_t n = rr::sim::scaled_pow2(1ull << 22);
+    const std::string image = dir + "/bench_ckpt_io_parload.rrg";
+    std::string error;
+    RR_REQUIRE(MappedSubstrate::build("ring " + std::to_string(n), image,
+                                      &error),
+               "parallel-load image build failed");
+    auto substrate = MappedSubstrate::open(image);
+    RR_REQUIRE(substrate != nullptr, "parallel-load image failed validation");
+    RotorRouter engine(substrate, spread_agents(n, kAgents));
+    substrate->advise_random();
+    engine.run(rr::sim::scaled(1000));
+    const std::string text = rr::sim::write_checkpoint(
+        engine, substrate->descriptor(), CkptFormat::kV2);
+
+    rr::sim::ThreadPool pool;  // hardware width
+    double seq_s = 1e300, par_s = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (const bool parallel : {false, true}) {
+        rr::sim::ThreadPool* p = parallel ? &pool : nullptr;
+        auto resume = MappedSubstrate::open(image);
+        RR_REQUIRE(resume != nullptr, "parallel-load image re-open failed");
+        RotorRouter sink(resume, {0});
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto parsed = rr::sim::parse_checkpoint(text, p);
+        const bool ok = parsed && sink.deserialize_state(parsed->state, p);
+        const double dt = now_minus(t0);
+        RR_REQUIRE(ok, "parallel load failed to round-trip");
+        RR_REQUIRE(sink.config_hash() == engine.config_hash(),
+                   "parallel load changed the configuration");
+        (parallel ? par_s : seq_s) =
+            std::min(parallel ? par_s : seq_s, dt);
+      }
+    }
+    Table t({"n", "threads", "seq load s", "pool load s", "speedup"});
+    const double speedup = seq_s / par_s;
+    t.add_row({Table::integer(n), Table::integer(pool.num_threads()),
+               Table::num(seq_s, 3), Table::num(par_s, 3),
+               Table::num(speedup, 2)});
+    t.print();
+    json.add("CkptIO/v2/parallel_load_nodes_per_s",
+             static_cast<double>(n) / par_s);
+    json.add("CkptIO/v2/sequential_load_nodes_per_s",
+             static_cast<double>(n) / seq_s);
+    if (pool.num_threads() >= 2) {
+      std::printf("\npool load speedup at n=%llu: %.2fx (acceptance: >= 1.2x"
+                  " with >= 2 threads) %s\n",
+                  static_cast<unsigned long long>(n), speedup,
+                  speedup >= 1.2 ? "PASS" : "WARN");
+    } else {
+      std::printf("\npool load speedup: SKIP (1 thread — pool runs inline;"
+                  " bit-equality still asserted)\n");
+    }
+    std::remove(image.c_str());
+  }
   return 0;
 }

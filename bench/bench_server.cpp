@@ -1,0 +1,307 @@
+// Session-multiplexing server load: sessions/s, step latency, bounded
+// RSS under eviction (serve::SessionService).
+//
+// Drives the service in-process — encoded requests through handle(),
+// pump() between waves, replies decoded off the Outgoing frames — so the
+// numbers measure the scheduler and the checkpoint-eviction machinery,
+// not socket syscalls. Two lanes:
+//
+//   1. Evicting: scaled(10000) concurrent sessions over a 512-slot live
+//      table. Every created session beyond the table forces a
+//      pressure-eviction (rr-ckpt v2 to disk) and every step on an
+//      evicted session a rehydration, so the lane sustains the full
+//      create -> evict -> rehydrate -> step cycle. Acceptance: the live
+//      table never exceeds its bound and peak RSS stays far below what
+//      resident engines for every session would cost.
+//   2. Resident: scaled(1000) sessions that all fit live — pure
+//      multiplexed stepping throughput (rounds/s) with no disk churn.
+//
+// Samples publish through sim::BenchJsonWriter (RR_BENCH_JSON) for
+// tools/bench_diff.py: *_per_s higher-is-better, p99_seconds and
+// rss_bytes lower-is-better.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "sim/runner.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace {
+
+using rr::analysis::Table;
+using rr::serve::Op;
+using rr::serve::Reply;
+using rr::serve::Request;
+using rr::serve::SessionService;
+using rr::serve::Status;
+
+using Clock = std::chrono::steady_clock;
+
+double now_minus(const Clock::time_point& t0) {
+  const std::chrono::duration<double> dt = Clock::now() - t0;
+  return dt.count();
+}
+
+std::string tmp_dir() {
+  if (const char* env = std::getenv("TMPDIR")) return env;
+  return "/tmp";
+}
+
+std::uint64_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::sscanf(line, "VmHWM: %llu kB",
+                    reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+/// Strips the frame header/trailer and decodes the reply payload.
+Reply decode_outgoing(const SessionService::Outgoing& o) {
+  RR_REQUIRE(o.frame.size() >= 8, "bench received a truncated frame");
+  const auto rep = rr::serve::decode_reply(
+      reinterpret_cast<const std::uint8_t*>(o.frame.data()) + 4,
+      o.frame.size() - 8);
+  RR_REQUIRE(rep.has_value(), "bench received an undecodable reply");
+  return *rep;
+}
+
+struct Harness {
+  SessionService service;
+  std::vector<SessionService::Outgoing> out;
+  std::uint64_t next_id = 1;
+
+  explicit Harness(rr::serve::ServiceOptions opt)
+      : service(std::move(opt)) {}
+
+  /// Sends one request; returns its id (replies may be deferred).
+  std::uint64_t send(Request req) {
+    req.id = next_id++;
+    const std::string payload = rr::serve::encode_request(req);
+    service.handle(1, reinterpret_cast<const std::uint8_t*>(payload.data()),
+                   payload.size(), out);
+    return req.id;
+  }
+
+  /// Drains replies queued so far into `sink`.
+  void drain(std::unordered_map<std::uint64_t, Reply>& sink) {
+    for (const auto& o : out) {
+      Reply rep = decode_outgoing(o);
+      sink.emplace(rep.id, std::move(rep));
+    }
+    out.clear();
+  }
+};
+
+double percentile(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(p * (xs.size() - 1));
+  return xs[idx];
+}
+
+}  // namespace
+
+int main() {
+  rr::sim::print_bench_header(
+      "Session-multiplexing server load (create/step under eviction)",
+      "serving layer; rr_serverd scheduler + rr-ckpt v2 eviction");
+  rr::sim::BenchJsonWriter json;
+  rr::sim::ThreadPool pool;
+
+  const std::string graph = "ring 4096";
+  constexpr std::uint64_t kAgents = 4;
+  constexpr std::uint64_t kRoundsPerStep = 64;
+
+  // --- 1. Evicting lane: sessions >> live slots. ---
+  const std::uint64_t kSessions = rr::sim::scaled(10000, 64);
+  const std::uint64_t kMaxLive = std::min<std::uint64_t>(512, kSessions / 4);
+  double create_s = 0, step_s = 0, p99 = 0;
+  std::uint64_t peak_live = 0, rss = 0;
+  {
+    rr::serve::ServiceOptions opt;
+    opt.max_sessions = kSessions;
+    opt.max_live = kMaxLive;
+    opt.quantum = kRoundsPerStep;
+    opt.evict_after = 4;
+    opt.ckpt_dir = tmp_dir();
+    opt.pool = &pool;
+    Harness h(opt);
+    std::unordered_map<std::uint64_t, Reply> replies;
+
+    Request create;
+    create.op = Op::kCreate;
+    create.engine = "rotor";
+    create.graph = graph;
+    create.k = kAgents;
+
+    auto t0 = Clock::now();
+    std::vector<std::uint64_t> sessions;
+    sessions.reserve(kSessions);
+    for (std::uint64_t i = 0; i < kSessions; ++i) {
+      const std::uint64_t id = h.send(create);
+      h.drain(replies);
+      const auto it = replies.find(id);
+      RR_REQUIRE(it != replies.end() && it->second.status == Status::kOk,
+                 "create rejected under eviction pressure");
+      sessions.push_back(it->second.session);
+      replies.erase(it);
+      peak_live = std::max(peak_live, h.service.live_sessions());
+    }
+    create_s = now_minus(t0);
+    RR_REQUIRE(h.service.total_sessions() == kSessions,
+               "session table lost entries");
+
+    // One pipelined step wave across every session; per-request latency
+    // is send-to-reply (dominated by rehydration queueing — that is the
+    // p99 the serving story cares about).
+    std::unordered_map<std::uint64_t, Clock::time_point> sent;
+    std::vector<double> latencies;
+    latencies.reserve(kSessions);
+    t0 = Clock::now();
+    Request step;
+    step.op = Op::kStep;
+    step.rounds = kRoundsPerStep;
+    for (const std::uint64_t s : sessions) {
+      step.session = s;
+      sent.emplace(h.send(step), Clock::now());
+      peak_live = std::max(peak_live, h.service.live_sessions());
+    }
+    while (latencies.size() < kSessions) {
+      const bool progress = h.service.pump(h.out);
+      peak_live = std::max(peak_live, h.service.live_sessions());
+      std::size_t got = 0;
+      for (const auto& o : h.out) {
+        const Reply rep = decode_outgoing(o);
+        RR_REQUIRE(rep.status == Status::kOk, "step failed in evicting lane");
+        const auto it = sent.find(rep.id);
+        RR_REQUIRE(it != sent.end(), "unexpected reply id");
+        latencies.push_back(now_minus(it->second));
+        sent.erase(it);
+        ++got;
+      }
+      h.out.clear();
+      RR_REQUIRE(progress || got > 0, "scheduler stalled with work queued");
+    }
+    step_s = now_minus(t0);
+    p99 = percentile(latencies, 0.99);
+    rss = peak_rss_bytes();
+    RR_REQUIRE(peak_live <= kMaxLive, "live table exceeded its bound");
+  }
+
+  Table t1({"sessions", "max live", "peak live", "create/s", "step req/s",
+            "p99 step s", "peak RSS MB"});
+  const double create_rate = static_cast<double>(kSessions) / create_s;
+  const double step_rate = static_cast<double>(kSessions) / step_s;
+  t1.add_row({Table::integer(kSessions), Table::integer(kMaxLive),
+              Table::integer(peak_live), Table::num(create_rate, 0),
+              Table::num(step_rate, 0), Table::num(p99, 4),
+              rss ? Table::num(static_cast<double>(rss) / (1u << 20), 1)
+                  : "-"});
+  t1.print();
+  json.add("Server/evicting/create_sessions_per_s", create_rate);
+  json.add("Server/evicting/step_requests_per_s", step_rate);
+  json.add("Server/evicting/step_rounds_per_s",
+           step_rate * static_cast<double>(kRoundsPerStep));
+  json.add_metric("Server/evicting/step", "p99_seconds", p99);
+  if (rss > 0) {
+    json.add_metric("Server/evicting/peak_rss", "rss_bytes",
+                    static_cast<double>(rss));
+  }
+  // A resident ring-4096 rotor engine costs ~100 KB; kSessions of them
+  // would need ~kSessions/10 MB. The bound asserts eviction actually
+  // bounds memory, with generous headroom for allocator slack.
+  const double resident_all_mb =
+      static_cast<double>(kSessions) * 0.1;  // ~0.1 MB/session
+  const double rss_mb = static_cast<double>(rss) / (1u << 20);
+  std::printf("\n%llu concurrent sessions over %llu live slots: peak RSS"
+              " %.1f MB vs ~%.0f MB all-resident (acceptance: bounded by"
+              " the live table) %s\n\n",
+              static_cast<unsigned long long>(kSessions),
+              static_cast<unsigned long long>(kMaxLive), rss_mb,
+              resident_all_mb,
+              rss == 0 || rss_mb < std::max(256.0, 0.5 * resident_all_mb)
+                  ? "PASS"
+                  : "WARN");
+
+  // --- 2. Resident lane: everything fits live. ---
+  const std::uint64_t kResident = rr::sim::scaled(1000, 16);
+  constexpr std::uint64_t kWaves = 4;
+  double resident_s = 0;
+  {
+    rr::serve::ServiceOptions opt;
+    opt.max_sessions = kResident;
+    opt.max_live = kResident;
+    opt.quantum = kRoundsPerStep;
+    opt.evict_after = 0;  // never evict
+    opt.ckpt_dir = tmp_dir();
+    opt.pool = &pool;
+    Harness h(opt);
+    std::unordered_map<std::uint64_t, Reply> replies;
+
+    Request create;
+    create.op = Op::kCreate;
+    create.engine = "rotor";
+    create.graph = graph;
+    create.k = kAgents;
+    std::vector<std::uint64_t> sessions;
+    sessions.reserve(kResident);
+    for (std::uint64_t i = 0; i < kResident; ++i) {
+      const std::uint64_t id = h.send(create);
+      h.drain(replies);
+      RR_REQUIRE(replies.at(id).status == Status::kOk,
+                 "resident create failed");
+      sessions.push_back(replies.at(id).session);
+      replies.clear();
+    }
+
+    const auto t0 = Clock::now();
+    for (std::uint64_t wave = 0; wave < kWaves; ++wave) {
+      Request step;
+      step.op = Op::kStep;
+      step.rounds = kRoundsPerStep;
+      std::size_t expect = 0;
+      for (const std::uint64_t s : sessions) {
+        step.session = s;
+        h.send(step);
+        ++expect;
+      }
+      std::size_t got = 0;
+      while (got < expect) {
+        h.service.pump(h.out);
+        for (const auto& o : h.out) {
+          RR_REQUIRE(decode_outgoing(o).status == Status::kOk,
+                     "resident step failed");
+          ++got;
+        }
+        h.out.clear();
+      }
+    }
+    resident_s = now_minus(t0);
+  }
+  const double resident_rounds =
+      static_cast<double>(kResident * kWaves * kRoundsPerStep);
+  Table t2({"sessions", "waves", "rounds/req", "total s", "rounds/s"});
+  t2.add_row({Table::integer(kResident), Table::integer(kWaves),
+              Table::integer(kRoundsPerStep), Table::num(resident_s, 3),
+              Table::sci(resident_rounds / resident_s)});
+  t2.print();
+  json.add("Server/resident/step_rounds_per_s",
+           resident_rounds / resident_s);
+  return 0;
+}

@@ -43,6 +43,7 @@
 #include <memory>
 #include <string>
 
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "core/cover_time.hpp"
 #include "core/initializers.hpp"
@@ -155,24 +156,25 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       f.domains = true;
     } else if (a == "--n") {
       const char* v = next("--n");
-      if (!v) return false;
-      f.n = static_cast<rr::core::NodeId>(std::strtoul(v, nullptr, 10));
+      if (!v || !rr::parse_flag_u32("rr_cli", "--n", v, f.n)) return false;
     } else if (a == "--k") {
       const char* v = next("--k");
-      if (!v) return false;
-      f.k = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!v || !rr::parse_flag_u32("rr_cli", "--k", v, f.k)) return false;
     } else if (a == "--seed") {
       const char* v = next("--seed");
-      if (!v) return false;
-      f.seed = std::strtoull(v, nullptr, 10);
+      if (!v || !rr::parse_flag_u64("rr_cli", "--seed", v, f.seed)) {
+        return false;
+      }
     } else if (a == "--rounds") {
       const char* v = next("--rounds");
-      if (!v) return false;
-      f.rounds = std::strtoull(v, nullptr, 10);
+      if (!v || !rr::parse_flag_u64("rr_cli", "--rounds", v, f.rounds)) {
+        return false;
+      }
     } else if (a == "--stride") {
       const char* v = next("--stride");
-      if (!v) return false;
-      f.stride = std::strtoull(v, nullptr, 10);
+      if (!v || !rr::parse_flag_u64("rr_cli", "--stride", v, f.stride)) {
+        return false;
+      }
     } else if (a == "--place") {
       const char* v = next("--place");
       if (!v) return false;
@@ -187,8 +189,9 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       f.topo = v;
     } else if (a == "--size") {
       const char* v = next("--size");
-      if (!v) return false;
-      f.size = static_cast<rr::graph::NodeId>(std::strtoul(v, nullptr, 10));
+      if (!v || !rr::parse_flag_u32("rr_cli", "--size", v, f.size)) {
+        return false;
+      }
     } else if (a == "--engine") {
       const char* v = next("--engine");
       if (!v) return false;
@@ -203,12 +206,15 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       f.checkpoint = v;
     } else if (a == "--checkpoint-every") {
       const char* v = next("--checkpoint-every");
-      if (!v) return false;
-      f.checkpoint_every = std::strtoull(v, nullptr, 10);
+      if (!v || !rr::parse_flag_u64("rr_cli", "--checkpoint-every", v,
+                                    f.checkpoint_every)) {
+        return false;
+      }
     } else if (a == "--shards") {
       const char* v = next("--shards");
-      if (!v) return false;
-      f.shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!v || !rr::parse_flag_u32("rr_cli", "--shards", v, f.shards)) {
+        return false;
+      }
       if (f.shards == 0) f.shards = 1;
     } else if (a == "--resume") {
       const char* v = next("--resume");
@@ -559,8 +565,11 @@ int cmd_trace(Flags f) {
     opt.rounds = f.rounds ? f.rounds : 4ULL * engine->num_nodes();
     opt.stride = f.stride ? f.stride : 1;
     if (d->kind == "torus" || d->kind == "grid") {
+      // Descriptor args were validated by GraphDescriptor::parse; the
+      // strict parse keeps this from silently drawing width-0 layouts
+      // if that ever changes.
       opt.width = static_cast<rr::graph::NodeId>(
-          std::strtoul(d->args[0].c_str(), nullptr, 10));
+          rr::parse_u64(d->args[0]).value_or(0));
     }
     std::fputs(
         rr::sim::format_trace(rr::sim::record_trace(*engine, opt)).c_str(),

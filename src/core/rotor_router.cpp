@@ -82,6 +82,11 @@ void RotorRouter::serialize_state(sim::StateWriter& out) const {
 }
 
 bool RotorRouter::deserialize_state(const sim::StateReader& in) {
+  return deserialize_state(in, /*pool=*/nullptr);
+}
+
+bool RotorRouter::deserialize_state(const sim::StateReader& in,
+                                    sim::ThreadPool* pool) {
   const bool assume_defaults = pristine_;
   pristine_ = false;
   if (assume_defaults) {
@@ -96,7 +101,7 @@ bool RotorRouter::deserialize_state(const sim::StateReader& in) {
     }
   }
   const auto restored = deserialize_rotor_state(
-      in, csr_, node_, initial_pointers_, stats_, assume_defaults);
+      in, csr_, node_, initial_pointers_, stats_, assume_defaults, pool);
   if (!restored) return false;
   time_ = restored->time;
   num_agents_ = restored->num_agents;

@@ -37,6 +37,10 @@
 #include "sim/engine.hpp"
 #include "sim/state_io.hpp"
 
+namespace rr::sim {
+class ThreadPool;
+}  // namespace rr::sim
+
 namespace rr::core {
 
 using graph::CsrGraph;
@@ -157,6 +161,13 @@ class RotorRouter final : public sim::Engine, public sim::StateIO {
   /// statistics. A deserialized engine continues bit-exactly.
   void serialize_state(sim::StateWriter& out) const override;
   [[nodiscard]] bool deserialize_state(const sim::StateReader& in) override;
+
+  /// Pool-parallel restore: v2 documents deserialize their per-node
+  /// segments on `pool` when the segment layouts line up (see
+  /// deserialize_rotor_state's pool overload); bit-identical result to
+  /// the sequential form. nullptr pool == the virtual overload.
+  [[nodiscard]] bool deserialize_state(const sim::StateReader& in,
+                                       sim::ThreadPool* pool);
 
  private:
   void do_step_delayed(const sim::DelayFn& delay) override {

@@ -29,6 +29,7 @@
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
 #include "sim/state_io.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace rr::core {
 
@@ -151,6 +152,86 @@ struct RestoredRotorState {
   std::vector<graph::NodeId> sites;
 };
 
+namespace detail {
+
+/// The six lockstep per-node fields of the rotor-router field set, in
+/// serialize_rotor_state's declaration order, with each one's
+/// construction-time default value (see assume_defaults below).
+inline constexpr std::size_t kRotorFields = 6;
+inline constexpr const char* kRotorFieldKeys[kRotorFields] = {
+    "pointers", "initial_pointers", "visits",
+    "exits",    "first_visit",      "last_visit"};
+inline constexpr std::uint64_t kRotorFieldDefaults[kRotorFields] = {
+    0, 0, 0, 0, sim::kNotCovered, 0};
+
+/// Applies the six lockstep cursors over node range [v0, v1): validates
+/// degrees, writes node/stats/initial_pointers, counts covered nodes.
+/// The cursors must produce exactly v1 - v0 elements each (checked via
+/// finished()). `allow_skip` gates the assume-defaults constant-run
+/// elision. nullopt on any malformed or inconsistent stream; the range
+/// may then be partially written (the StateIO failed-restore contract).
+/// Ranges are disjoint, so the parallel restore runs one call per
+/// segment window from pool threads.
+template <typename NodeArray, typename StatsArray>
+inline std::optional<graph::NodeId> apply_rotor_span(
+    std::optional<sim::U64ListCursor>* cursors, const graph::CsrGraph& csr,
+    NodeArray& node, std::vector<std::uint32_t>& initial_pointers,
+    StatsArray& stats, graph::NodeId v0, graph::NodeId v1, bool allow_skip) {
+  graph::NodeId covered = 0;
+  sim::U64ListCursor::Run run[kRotorFields];
+  for (graph::NodeId v = v0; v < v1;) {
+    std::uint64_t span = v1 - v;
+    for (std::size_t k = 0; k < kRotorFields; ++k) {
+      if (run[k].len == 0) {
+        const auto r = cursors[k]->next_run();
+        if (!r) return std::nullopt;
+        run[k] = *r;
+      }
+      span = std::min(span, run[k].len);
+    }
+    bool skip = allow_skip;
+    for (std::size_t k = 0; skip && k < kRotorFields; ++k) {
+      skip = run[k].delta == 0 && run[k].value == kRotorFieldDefaults[k];
+    }
+    if (!skip) {
+      for (std::uint64_t j = 0; j < span; ++j) {
+        const graph::NodeId u = v + static_cast<graph::NodeId>(j);
+        const std::uint32_t degree = csr.degree_unchecked(u);
+        if (run[0].value >= degree || run[1].value >= degree) {
+          return std::nullopt;
+        }
+        node[u].count = 0;
+        node[u].arrivals = 0;
+        node[u].pointer = static_cast<std::uint32_t>(run[0].value);
+        initial_pointers[u] = static_cast<std::uint32_t>(run[1].value);
+        stats[u].visits = run[2].value;
+        stats[u].exits = run[3].value;
+        stats[u].first_visit = run[4].value;
+        stats[u].last_visit = run[5].value;
+        if (run[4].value != sim::kNotCovered) ++covered;
+        for (std::size_t k = 0; k < kRotorFields; ++k) {
+          run[k].value += run[k].delta;
+        }
+      }
+    } else {
+      // All six runs are constant defaults over the span; covered
+      // gains nothing (first_visit is the sentinel) and every store
+      // would rewrite the value already there.
+      for (std::size_t k = 0; k < kRotorFields; ++k) {
+        run[k].value += run[k].delta * span;  // delta == 0, kept for form
+      }
+    }
+    for (std::size_t k = 0; k < kRotorFields; ++k) run[k].len -= span;
+    v += static_cast<graph::NodeId>(span);
+  }
+  for (std::size_t k = 0; k < kRotorFields; ++k) {
+    if (!cursors[k]->finished()) return std::nullopt;
+  }
+  return covered;
+}
+
+}  // namespace detail
+
 /// Validates and applies a serialize_rotor_state document against `csr`'s
 /// topology. On success node/stats/initial_pointers hold the restored
 /// state (counts and arrival accumulators reset and repopulated from the
@@ -194,68 +275,97 @@ inline std::optional<RestoredRotorState> deserialize_rotor_state(
   restored.time = *time;
   restored.num_agents = static_cast<std::uint32_t>(total_agents);
   initial_pointers.resize(n);
-  constexpr std::size_t kFields = 6;
-  std::optional<sim::U64ListCursor> cursors[kFields] = {
-      in.u64_list_cursor("pointers", n),
-      in.u64_list_cursor("initial_pointers", n),
-      in.u64_list_cursor("visits", n),
-      in.u64_list_cursor("exits", n),
-      in.u64_list_cursor("first_visit", n),
-      in.u64_list_cursor("last_visit", n)};
-  for (const auto& c : cursors) {
-    if (!c) return std::nullopt;
+  std::optional<sim::U64ListCursor> cursors[detail::kRotorFields];
+  for (std::size_t k = 0; k < detail::kRotorFields; ++k) {
+    cursors[k] = in.u64_list_cursor(detail::kRotorFieldKeys[k], n);
+    if (!cursors[k]) return std::nullopt;
   }
-  // Construction-time default per field (see assume_defaults above).
-  constexpr std::uint64_t kDefaults[kFields] = {0, 0, 0, 0,
-                                                sim::kNotCovered, 0};
-  sim::U64ListCursor::Run run[kFields];
-  for (graph::NodeId v = 0; v < n;) {
-    std::uint64_t span = n - v;
-    for (std::size_t k = 0; k < kFields; ++k) {
-      if (run[k].len == 0) {
-        const auto r = cursors[k]->next_run();
-        if (!r) return std::nullopt;
-        run[k] = *r;
-      }
-      span = std::min(span, run[k].len);
-    }
-    bool skip = assume_defaults && n > 1;
-    for (std::size_t k = 0; skip && k < kFields; ++k) {
-      skip = run[k].delta == 0 && run[k].value == kDefaults[k];
-    }
-    if (!skip) {
-      for (std::uint64_t j = 0; j < span; ++j) {
-        const graph::NodeId u = v + static_cast<graph::NodeId>(j);
-        const std::uint32_t degree = csr.degree_unchecked(u);
-        if (run[0].value >= degree || run[1].value >= degree) {
-          return std::nullopt;
-        }
-        node[u].count = 0;
-        node[u].arrivals = 0;
-        node[u].pointer = static_cast<std::uint32_t>(run[0].value);
-        initial_pointers[u] = static_cast<std::uint32_t>(run[1].value);
-        stats[u].visits = run[2].value;
-        stats[u].exits = run[3].value;
-        stats[u].first_visit = run[4].value;
-        stats[u].last_visit = run[5].value;
-        if (run[4].value != sim::kNotCovered) ++restored.covered;
-        for (std::size_t k = 0; k < kFields; ++k) {
-          run[k].value += run[k].delta;
-        }
-      }
-    } else {
-      // All six runs are constant defaults over the span; covered_
-      // gains nothing (first_visit is the sentinel) and every store
-      // would rewrite the value already there.
-      for (std::size_t k = 0; k < kFields; ++k) {
-        run[k].value += run[k].delta * span;  // delta == 0, kept for form
-      }
-    }
-    for (std::size_t k = 0; k < kFields; ++k) run[k].len -= span;
-    v += static_cast<graph::NodeId>(span);
+  const auto covered = detail::apply_rotor_span(
+      cursors, csr, node, initial_pointers, stats, 0, n,
+      /*allow_skip=*/assume_defaults && n > 1);
+  if (!covered) return std::nullopt;
+  restored.covered = *covered;
+
+  restored.sites.reserve(sites->size());
+  for (const auto& [v, c] : *sites) {
+    node[v].count = static_cast<std::uint32_t>(c);
+    restored.sites.push_back(static_cast<graph::NodeId>(v));
   }
-  for (auto& c : cursors) {
-    if (!c->finished()) return std::nullopt;
+  return restored;
+}
+
+/// Pool-parallel variant. A v2 checkpoint splits each per-node field
+/// into independently decodable segments (delta baselines restart at
+/// each boundary); when all six fields share the same segment layout —
+/// always true for documents the v2 encoder wrote — the node range
+/// splits at those boundaries and each window deserializes on a pool
+/// thread (disjoint node ranges, disjoint writes). Falls back to the
+/// sequential walk for v1 text documents, mismatched layouts, or a
+/// single segment. Identical results either way (restore is a pure
+/// function of the document); only wall-clock differs — this is what
+/// keeps session rehydration under server load from serializing on one
+/// core.
+template <typename NodeArray, typename StatsArray>
+inline std::optional<RestoredRotorState> deserialize_rotor_state(
+    const sim::StateReader& in, const graph::CsrGraph& csr, NodeArray& node,
+    std::vector<std::uint32_t>& initial_pointers, StatsArray& stats,
+    bool assume_defaults, sim::ThreadPool* pool) {
+  const graph::NodeId n = csr.num_nodes();
+  std::optional<std::vector<std::uint64_t>> bounds;
+  if (pool != nullptr && pool->num_threads() > 1 && n > 0) {
+    bounds = in.u64_list_segment_bounds(detail::kRotorFieldKeys[0], n);
+    for (std::size_t k = 1; bounds && k < detail::kRotorFields; ++k) {
+      const auto other =
+          in.u64_list_segment_bounds(detail::kRotorFieldKeys[k], n);
+      if (!other || *other != *bounds) bounds = std::nullopt;
+    }
+    if (bounds && bounds->size() <= 2) bounds = std::nullopt;
+  }
+  if (!bounds) {
+    return deserialize_rotor_state(in, csr, node, initial_pointers, stats,
+                                   assume_defaults);
+  }
+
+  const auto time = in.u64("time");
+  const auto sites = in.pairs("agents");
+  if (!time || !sites || sites->empty()) return std::nullopt;
+  std::uint64_t total_agents = 0;
+  for (const auto& [v, c] : *sites) {
+    if (v >= n || c == 0 || c > ~std::uint32_t{0}) return std::nullopt;
+    total_agents += c;
+  }
+  if (total_agents > ~std::uint32_t{0}) return std::nullopt;
+
+  RestoredRotorState restored;
+  restored.time = *time;
+  restored.num_agents = static_cast<std::uint32_t>(total_agents);
+  initial_pointers.resize(n);
+  const std::size_t windows = bounds->size() - 1;
+  std::vector<graph::NodeId> covered(windows, 0);
+  std::vector<std::uint8_t> ok(windows, 0);
+  const bool allow_skip = assume_defaults && n > 1;
+  pool->for_each(
+      windows,
+      [&](std::uint64_t w) {
+        std::optional<sim::U64ListCursor> cursors[detail::kRotorFields];
+        for (std::size_t k = 0; k < detail::kRotorFields; ++k) {
+          cursors[k] = in.u64_list_cursor_window(detail::kRotorFieldKeys[k],
+                                                 static_cast<std::size_t>(w),
+                                                 static_cast<std::size_t>(w) + 1);
+          if (!cursors[k]) return;
+        }
+        const auto c = detail::apply_rotor_span(
+            cursors, csr, node, initial_pointers, stats,
+            static_cast<graph::NodeId>((*bounds)[w]),
+            static_cast<graph::NodeId>((*bounds)[w + 1]), allow_skip);
+        if (!c) return;
+        covered[w] = *c;
+        ok[w] = 1;
+      },
+      /*chunk=*/1);
+  for (std::size_t w = 0; w < windows; ++w) {
+    if (!ok[w]) return std::nullopt;
+    restored.covered += covered[w];
   }
 
   restored.sites.reserve(sites->size());

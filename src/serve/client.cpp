@@ -1,0 +1,111 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rr::serve {
+
+namespace {
+
+/// Blocking read of the next reply off the wire (ignores any stash).
+std::optional<Reply> read_reply(int fd, FrameDecoder& decoder) {
+  std::uint8_t buf[4096];
+  for (;;) {
+    if (const auto payload = decoder.next()) {
+      return decode_reply(
+          reinterpret_cast<const std::uint8_t*>(payload->data()),
+          payload->size());
+    }
+    if (decoder.fatal()) return std::nullopt;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) return false;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  decoder_ = FrameDecoder{};
+  stashed_.clear();
+}
+
+bool Client::send(const Request& req) {
+  if (fd_ < 0) return false;
+  const std::string frame = encode_frame(encode_request(req));
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<Reply> Client::next_reply() {
+  if (!stashed_.empty()) {
+    Reply rep = std::move(stashed_.front());
+    stashed_.pop_front();
+    return rep;
+  }
+  if (fd_ < 0) return std::nullopt;
+  auto rep = read_reply(fd_, decoder_);
+  if (!rep) close();
+  return rep;
+}
+
+std::optional<Reply> Client::call(const Request& req) {
+  if (!send(req)) return std::nullopt;
+  // A matching reply may already be stashed (pipelined sends drained by
+  // an earlier call); trace pushes reuse the subscribe id and stay
+  // queued for next_reply().
+  for (auto it = stashed_.begin(); it != stashed_.end(); ++it) {
+    if (it->id == req.id && it->status != Status::kTrace) {
+      Reply rep = std::move(*it);
+      stashed_.erase(it);
+      return rep;
+    }
+  }
+  for (;;) {
+    auto rep = read_reply(fd_, decoder_);
+    if (!rep) {
+      close();
+      return std::nullopt;
+    }
+    if (rep->id == req.id && rep->status != Status::kTrace) return rep;
+    stashed_.push_back(std::move(*rep));
+  }
+}
+
+}  // namespace rr::serve

@@ -1,0 +1,52 @@
+#pragma once
+
+// Blocking rr_serverd client (serve layer).
+//
+// A thin synchronous wrapper over one AF_UNIX connection: frames
+// requests out, splits replies back through the same FrameDecoder the
+// server uses. call() supports pipelined use — replies arriving out of
+// request order (trace pushes, earlier pipelined ids) are stashed and
+// handed out when asked for. Used by `rr_serverd drive`, the end-to-end
+// smoke in CI, and anyone scripting against a live daemon.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace rr::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the daemon's unix socket; false on any socket error.
+  bool connect(const std::string& socket_path);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Frames and writes one request; false on a write error (connection
+  /// is closed).
+  bool send(const Request& req);
+
+  /// Next reply in arrival order (stashed ones first); blocks for socket
+  /// bytes. nullopt on EOF, a read error, or an undecodable stream.
+  std::optional<Reply> next_reply();
+
+  /// send + wait for the reply whose id matches; replies with other ids
+  /// (pipelined, trace pushes) are stashed for later next_reply() calls.
+  std::optional<Reply> call(const Request& req);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::deque<Reply> stashed_;
+};
+
+}  // namespace rr::serve

@@ -1,0 +1,187 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+#include "sim/wire.hpp"
+
+namespace rr::serve {
+
+namespace {
+
+using sim::wire::get_varint;
+using sim::wire::put_varint;
+
+void put_string(std::string& out, const std::string& s) {
+  put_varint(out, s.size());
+  out.append(s);
+}
+
+bool get_string(const std::uint8_t* data, std::size_t size, std::size_t* pos,
+                std::string& out) {
+  const auto len = get_varint(data, size, pos);
+  if (!len || *len > size - *pos) return false;
+  out.assign(reinterpret_cast<const char*>(data + *pos),
+             static_cast<std::size_t>(*len));
+  *pos += static_cast<std::size_t>(*len);
+  return true;
+}
+
+bool valid_op(std::uint8_t op) {
+  return op >= static_cast<std::uint8_t>(Op::kCreate) &&
+         op <= static_cast<std::uint8_t>(Op::kShutdown);
+}
+
+bool valid_status(std::uint8_t s) {
+  return s <= static_cast<std::uint8_t>(Status::kTrace);
+}
+
+}  // namespace
+
+std::string encode_frame(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  sim::wire::put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  sim::wire::put_u32le(out, sim::wire::crc32(payload.data(), payload.size()));
+  return out;
+}
+
+std::string encode_request(const Request& req) {
+  std::string out;
+  put_varint(out, req.id);
+  out.push_back(static_cast<char>(req.op));
+  put_string(out, req.engine);
+  put_string(out, req.graph);
+  put_varint(out, req.k);
+  put_varint(out, req.seed);
+  put_varint(out, req.agents.size());
+  for (std::uint64_t a : req.agents) put_varint(out, a);
+  put_varint(out, req.session);
+  put_varint(out, req.rounds);
+  put_varint(out, req.every);
+  put_string(out, req.blob);
+  return out;
+}
+
+std::string encode_reply(const Reply& rep) {
+  std::string out;
+  put_varint(out, rep.id);
+  out.push_back(static_cast<char>(rep.status));
+  put_varint(out, rep.session);
+  put_varint(out, rep.time);
+  put_varint(out, rep.covered);
+  put_varint(out, rep.nodes);
+  put_varint(out, rep.agents);
+  put_varint(out, rep.config_hash);
+  out.push_back(rep.resident ? 1 : 0);
+  put_string(out, rep.message);
+  put_string(out, rep.blob);
+  return out;
+}
+
+std::optional<Request> decode_request(const std::uint8_t* data,
+                                      std::size_t size) {
+  Request req;
+  std::size_t pos = 0;
+  const auto id = get_varint(data, size, &pos);
+  if (!id) return std::nullopt;
+  req.id = *id;
+  if (pos >= size || !valid_op(data[pos])) return std::nullopt;
+  req.op = static_cast<Op>(data[pos++]);
+  if (!get_string(data, size, &pos, req.engine)) return std::nullopt;
+  if (!get_string(data, size, &pos, req.graph)) return std::nullopt;
+  const auto k = get_varint(data, size, &pos);
+  const auto seed = get_varint(data, size, &pos);
+  if (!k || !seed) return std::nullopt;
+  req.k = *k;
+  req.seed = *seed;
+  const auto agent_count = get_varint(data, size, &pos);
+  // Each agent id costs >= 1 payload byte: a crafted count cannot force
+  // an allocation beyond the payload's own size (same bound the ckpt
+  // decoders apply).
+  if (!agent_count || *agent_count > size - pos) return std::nullopt;
+  req.agents.reserve(static_cast<std::size_t>(*agent_count));
+  for (std::uint64_t i = 0; i < *agent_count; ++i) {
+    const auto a = get_varint(data, size, &pos);
+    if (!a) return std::nullopt;
+    req.agents.push_back(*a);
+  }
+  const auto session = get_varint(data, size, &pos);
+  const auto rounds = get_varint(data, size, &pos);
+  const auto every = get_varint(data, size, &pos);
+  if (!session || !rounds || !every) return std::nullopt;
+  req.session = *session;
+  req.rounds = *rounds;
+  req.every = *every;
+  if (!get_string(data, size, &pos, req.blob)) return std::nullopt;
+  if (pos != size) return std::nullopt;  // trailing bytes -> malformed
+  return req;
+}
+
+std::optional<Reply> decode_reply(const std::uint8_t* data, std::size_t size) {
+  Reply rep;
+  std::size_t pos = 0;
+  const auto id = get_varint(data, size, &pos);
+  if (!id) return std::nullopt;
+  rep.id = *id;
+  if (pos >= size || !valid_status(data[pos])) return std::nullopt;
+  rep.status = static_cast<Status>(data[pos++]);
+  const auto session = get_varint(data, size, &pos);
+  const auto time = get_varint(data, size, &pos);
+  const auto covered = get_varint(data, size, &pos);
+  const auto nodes = get_varint(data, size, &pos);
+  const auto agents = get_varint(data, size, &pos);
+  const auto hash = get_varint(data, size, &pos);
+  if (!session || !time || !covered || !nodes || !agents || !hash) {
+    return std::nullopt;
+  }
+  rep.session = *session;
+  rep.time = *time;
+  rep.covered = *covered;
+  rep.nodes = *nodes;
+  rep.agents = *agents;
+  rep.config_hash = *hash;
+  if (pos >= size || data[pos] > 1) return std::nullopt;
+  rep.resident = data[pos++] != 0;
+  if (!get_string(data, size, &pos, rep.message)) return std::nullopt;
+  if (!get_string(data, size, &pos, rep.blob)) return std::nullopt;
+  if (pos != size) return std::nullopt;
+  return rep;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (fatal_ || size == 0) return;
+  // Compact the already-consumed prefix before growing; the buffer never
+  // holds more than one partial frame plus whatever arrived beyond it.
+  if (consumed_ > 0) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buf_.append(reinterpret_cast<const char*>(data), size);
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (fatal_) return std::nullopt;
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return std::nullopt;
+  const auto* base =
+      reinterpret_cast<const std::uint8_t*>(buf_.data()) + consumed_;
+  const std::uint32_t len = sim::wire::get_u32le(base);
+  if (len > kMaxFramePayload) {
+    // A length the protocol can never produce: the stream is garbage and
+    // there is no way to find the next frame boundary.
+    fatal_ = true;
+    return std::nullopt;
+  }
+  if (avail < 8ull + len) return std::nullopt;  // header + payload + crc
+  const std::uint32_t stored_crc = sim::wire::get_u32le(base + 4 + len);
+  if (sim::wire::crc32(base + 4, len) != stored_crc) {
+    fatal_ = true;
+    return std::nullopt;
+  }
+  std::string payload(reinterpret_cast<const char*>(base + 4), len);
+  consumed_ += 8ull + len;
+  return payload;
+}
+
+}  // namespace rr::serve

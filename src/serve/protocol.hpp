@@ -1,0 +1,141 @@
+#pragma once
+
+// Wire protocol of rr_serverd (serve layer).
+//
+// A session-multiplexing server needs a framing that a long-lived,
+// untrusted byte stream cannot crash: this is the same discipline as the
+// rr-ckpt v2 codec, built from the same sim/wire.hpp primitives, and it
+// gets the same treatment — a total, fuzzable decoder.
+//
+// Frame (everything on the socket is a sequence of these):
+//
+//   u32le payload_len | payload bytes | u32le crc32(payload)
+//
+// payload_len is capped at kMaxFramePayload; a longer declaration or a
+// CRC mismatch is *fatal* for the stream (length-prefixed streams cannot
+// resync after corruption — the peer drops the connection), while a
+// short buffer just means "need more bytes". The decoder never
+// preallocates from the declared length: its buffer grows only with
+// bytes that actually arrived, so a crafted length cannot balloon
+// memory.
+//
+// Request payload (varints are LEB128 as in wire.hpp; strings are
+// varint-length-prefixed bytes):
+//
+//   varint request_id | u8 opcode | op fields:
+//     str engine | str graph | varint k | varint seed |
+//     varint agent_count, agent_count x varint   (explicit placement;
+//                                                 0 -> server spreads
+//                                                 i*n/k like rr_cli)
+//     varint session | varint rounds | varint every | str blob
+//
+// Every request carries the full field block (unused fields encode as
+// 0/empty — a fixed shape keeps the decoder total and the fuzz lane
+// simple); the opcode says which fields matter. Reply payload:
+//
+//   varint request_id | u8 status | varint session | varint time |
+//   varint covered | varint nodes | varint agents | varint config_hash |
+//   u8 resident | str message | str blob
+//
+// Replies are matched to requests by request_id (the client picks ids;
+// the server echoes them), so a client may pipeline. Trace events are
+// server-pushed replies with status kTrace and the id of the
+// subscribe-trace request that armed them.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rr::serve {
+
+/// Hard cap on a frame payload (256 MiB — a full v2 checkpoint blob of a
+/// ~100M-node session fits; anything larger is malformed or hostile).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 28;
+
+enum class Op : std::uint8_t {
+  kCreate = 1,          ///< engine, graph, k, seed, agents, every
+  kStep = 2,            ///< session, rounds
+  kObserve = 3,         ///< session (works on evicted sessions)
+  kSnapshot = 4,        ///< session -> blob = rr-ckpt v2 document
+  kResume = 5,          ///< blob = checkpoint document, every
+  kDestroy = 6,         ///< session
+  kSubscribeTrace = 7,  ///< session, every (0 unsubscribes)
+  kInfo = 8,            ///< server stats in reply message
+  kShutdown = 9,        ///< ask the daemon to exit cleanly
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,    ///< malformed request / unknown session / failed op
+  kBusy = 2,     ///< admission refused (session table full) — retry later
+  kEvicted = 3,  ///< session state lost (checkpoint unreadable); destroyed
+  kTrace = 4,    ///< server-pushed trace event (not a reply to a request)
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  Op op = Op::kInfo;
+  std::string engine;  ///< registry key ("rotor", "ring", ...)
+  std::string graph;   ///< graph descriptor text ("ring 4096", ...)
+  std::uint64_t k = 0;
+  std::uint64_t seed = 1;
+  std::vector<std::uint64_t> agents;  ///< explicit placement; empty = spread
+  std::uint64_t session = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t every = 0;  ///< auto-checkpoint / trace period
+  std::string blob;         ///< checkpoint document (kResume)
+};
+
+struct Reply {
+  std::uint64_t id = 0;
+  Status status = Status::kOk;
+  std::uint64_t session = 0;
+  std::uint64_t time = 0;
+  std::uint64_t covered = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t agents = 0;
+  std::uint64_t config_hash = 0;
+  bool resident = false;  ///< session live in memory (vs evicted to disk)
+  std::string message;    ///< human-readable detail (errors, kInfo text)
+  std::string blob;       ///< checkpoint document (kSnapshot)
+};
+
+/// Wraps a payload in the frame header/trailer (length + CRC).
+std::string encode_frame(const std::string& payload);
+
+std::string encode_request(const Request& req);
+std::string encode_reply(const Reply& rep);
+
+/// Total payload decoders: nullopt on any malformed field, unknown
+/// opcode/status, or trailing bytes. Never aborts, never allocates more
+/// than the payload's own size.
+std::optional<Request> decode_request(const std::uint8_t* data,
+                                      std::size_t size);
+std::optional<Reply> decode_reply(const std::uint8_t* data, std::size_t size);
+
+/// Incremental frame splitter for one connection. Feed arriving bytes,
+/// then drain complete payloads with next(). After fatal() returns true
+/// (oversized length declaration or CRC mismatch) the stream is
+/// unrecoverable and the connection must be dropped; next() returns
+/// nullopt forever.
+class FrameDecoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Next complete frame payload, nullopt if more bytes are needed (or
+  /// the stream is fatal). Consumes the frame from the buffer.
+  std::optional<std::string> next();
+
+  bool fatal() const { return fatal_; }
+
+  /// Bytes currently buffered (tests assert the no-prealloc property).
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::string buf_;
+  std::size_t consumed_ = 0;  ///< prefix already handed out via next()
+  bool fatal_ = false;
+};
+
+}  // namespace rr::serve

@@ -1,0 +1,473 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "graph/descriptor.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/ckpt_v2.hpp"
+#include "sim/registry.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace rr::serve {
+
+namespace {
+
+Reply error_reply(std::uint64_t req_id, const char* message,
+                  Status status = Status::kError) {
+  Reply rep;
+  rep.id = req_id;
+  rep.status = status;
+  rep.message = message;
+  return rep;
+}
+
+}  // namespace
+
+SessionService::SessionService(ServiceOptions opt) : opt_(std::move(opt)) {
+  if (opt_.quantum == 0) opt_.quantum = 1;
+  if (opt_.max_live == 0) opt_.max_live = 1;
+  if (opt_.max_sessions < opt_.max_live) opt_.max_sessions = opt_.max_live;
+}
+
+SessionService::~SessionService() {
+  for (const auto& [id, s] : sessions_) {
+    std::remove(evict_path(id).c_str());
+  }
+}
+
+std::string SessionService::evict_path(std::uint64_t id) const {
+  return opt_.ckpt_dir + "/rr-session-" + std::to_string(id) + ".ckpt";
+}
+
+void SessionService::refresh_summary(Session& s) {
+  if (!s.engine) return;
+  s.time = s.engine->time();
+  s.covered = s.engine->covered_count();
+  s.nodes = s.engine->num_nodes();
+  s.agents = s.engine->num_agents();
+  s.config_hash = s.engine->config_hash();
+}
+
+Reply SessionService::summary_reply(const Session& s, std::uint64_t req_id,
+                                    Status status) const {
+  Reply rep;
+  rep.id = req_id;
+  rep.status = status;
+  rep.session = s.id;
+  rep.time = s.time;
+  rep.covered = s.covered;
+  rep.nodes = s.nodes;
+  rep.agents = s.agents;
+  rep.config_hash = s.config_hash;
+  rep.resident = s.engine != nullptr;
+  return rep;
+}
+
+void SessionService::emit(std::vector<Outgoing>& out, std::uint64_t conn,
+                          const Reply& rep) {
+  out.push_back(Outgoing{conn, encode_frame(encode_reply(rep))});
+}
+
+SessionService::Session* SessionService::find_session(std::uint64_t id) {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void SessionService::arm_auto_checkpoint(Session& s) {
+  if (!s.engine || s.ckpt_every == 0) return;
+  // nullptr pool: the sink may fire from inside a pool job when pumps
+  // step sessions in parallel, and a worker must not try to dispatch.
+  s.engine->set_auto_checkpoint(
+      s.ckpt_every, sim::checkpoint_file_sink(evict_path(s.id), s.descriptor,
+                                              sim::CkptFormat::kV2, nullptr));
+}
+
+bool SessionService::evict(Session& s) {
+  refresh_summary(s);
+  // Pinning the segment count makes the document byte-identical to what
+  // any other writer (rr_cli, the differential tests) produces for the
+  // same state, regardless of this service's pool width.
+  const std::string text =
+      sim::write_checkpoint(*s.engine, s.descriptor, sim::CkptFormat::kV2,
+                            sim::kV2DefaultSegments, opt_.pool);
+  if (!sim::save_checkpoint_file_atomic(evict_path(s.id), text)) return false;
+  s.engine.reset();
+  s.idle_pumps = 0;
+  --live_;
+  ++stats_.evictions;
+  return true;
+}
+
+bool SessionService::rehydrate(Session& s) {
+  auto engine = sim::restore_checkpoint_file(evict_path(s.id), 1, opt_.pool);
+  if (!engine) return false;
+  s.engine = std::move(engine);
+  s.idle_pumps = 0;
+  arm_auto_checkpoint(s);
+  refresh_summary(s);
+  ++live_;
+  ++stats_.rehydrations;
+  return true;
+}
+
+bool SessionService::pressure_evict() {
+  for (auto& [id, s] : sessions_) {
+    if (s.engine && !s.step_active && s.pending_rounds == 0) {
+      if (evict(s)) return true;
+    }
+  }
+  return false;
+}
+
+void SessionService::destroy(std::uint64_t id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  if (it->second.engine) --live_;
+  std::remove(evict_path(id).c_str());
+  sessions_.erase(it);
+  ++stats_.destroyed;
+}
+
+void SessionService::drop_connection(std::uint64_t conn) {
+  // Queued step work still completes (the transport discards frames to a
+  // gone connection); only unbounded pushes are cancelled.
+  for (auto& [id, s] : sessions_) {
+    if (s.trace_every != 0 && s.trace_conn == conn) s.trace_every = 0;
+  }
+}
+
+bool SessionService::has_pending_work() const {
+  if (!waiting_.empty()) return true;
+  for (const auto& [id, s] : sessions_) {
+    if (s.engine && s.pending_rounds > 0) return true;
+  }
+  return false;
+}
+
+void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
+                            std::size_t size, std::vector<Outgoing>& out) {
+  const auto req = decode_request(payload, size);
+  if (!req) {
+    emit(out, conn, error_reply(0, "malformed request"));
+    return;
+  }
+
+  switch (req->op) {
+    case Op::kCreate:
+    case Op::kResume: {
+      if (sessions_.size() >= opt_.max_sessions) {
+        ++stats_.busy_replies;
+        emit(out, conn,
+             error_reply(req->id, "session table full", Status::kBusy));
+        return;
+      }
+      if (live_ >= opt_.max_live && !pressure_evict()) {
+        ++stats_.busy_replies;
+        emit(out, conn,
+             error_reply(req->id, "no live slot free", Status::kBusy));
+        return;
+      }
+      Session s;
+      if (req->op == Op::kCreate) {
+        const auto d = graph::GraphDescriptor::parse(req->graph);
+        const auto n = d ? d->num_nodes() : std::nullopt;
+        if (!d || !n || *n == 0) {
+          emit(out, conn, error_reply(req->id, "invalid graph descriptor"));
+          return;
+        }
+        std::vector<sim::NodeId> agents;
+        if (!req->agents.empty()) {
+          agents.reserve(req->agents.size());
+          for (std::uint64_t a : req->agents) {
+            if (a >= *n) {
+              emit(out, conn, error_reply(req->id, "agent node out of range"));
+              return;
+            }
+            agents.push_back(static_cast<sim::NodeId>(a));
+          }
+        } else {
+          if (req->k == 0 || req->k > *n) {
+            emit(out, conn,
+                 error_reply(req->id, "k must be in [1, num_nodes]"));
+            return;
+          }
+          agents.resize(static_cast<std::size_t>(req->k));
+          for (std::uint64_t i = 0; i < req->k; ++i) {
+            // Same spread rr_cli uses, so a served run is comparable to
+            // a CLI run of the same (engine, graph, k).
+            agents[i] = static_cast<sim::NodeId>(i * *n / req->k);
+          }
+        }
+        sim::EngineConfig config;
+        config.agents = std::move(agents);
+        config.seed = req->seed;
+        config.pool = opt_.pool;
+        std::string error;
+        auto engine = sim::EngineRegistry::instance().create(req->engine, *d,
+                                                             config, &error);
+        if (!engine) {
+          emit(out, conn,
+               error_reply(req->id, error.empty() ? "cannot create engine"
+                                                  : error.c_str()));
+          return;
+        }
+        s.engine = std::move(engine);
+        s.descriptor = d->text();
+      } else {
+        const auto parsed = sim::parse_checkpoint(req->blob, opt_.pool);
+        if (!parsed) {
+          emit(out, conn, error_reply(req->id, "malformed checkpoint"));
+          return;
+        }
+        auto engine = sim::restore_checkpoint_sharded(*parsed, 1, opt_.pool);
+        if (!engine) {
+          emit(out, conn, error_reply(req->id, "cannot restore checkpoint"));
+          return;
+        }
+        s.engine = std::move(engine);
+        s.descriptor = parsed->graph_descriptor;
+      }
+      s.id = next_id_++;
+      s.engine_name = s.engine->engine_name();
+      s.ckpt_every =
+          req->every != 0 ? req->every : opt_.auto_checkpoint_every;
+      arm_auto_checkpoint(s);
+      refresh_summary(s);
+      ++live_;
+      ++stats_.created;
+      const std::uint64_t id = s.id;
+      sessions_.emplace(id, std::move(s));
+      emit(out, conn, summary_reply(sessions_.at(id), req->id));
+      return;
+    }
+
+    case Op::kStep: {
+      Session* s = find_session(req->session);
+      if (!s) {
+        emit(out, conn, error_reply(req->id, "unknown session"));
+        return;
+      }
+      if (s->step_active) {
+        ++stats_.busy_replies;
+        emit(out, conn,
+             error_reply(req->id, "step already in flight", Status::kBusy));
+        return;
+      }
+      ++stats_.step_requests;
+      if (req->rounds == 0) {
+        if (s->engine) refresh_summary(*s);
+        emit(out, conn, summary_reply(*s, req->id));
+        return;
+      }
+      s->step_active = true;
+      s->pending_rounds = req->rounds;
+      s->step_req_id = req->id;
+      s->step_conn = conn;
+      s->idle_pumps = 0;
+      if (!s->engine && !s->waiting) {
+        s->waiting = true;
+        waiting_.push_back(s->id);
+      }
+      return;  // reply comes from the pump that drains the last round
+    }
+
+    case Op::kObserve: {
+      Session* s = find_session(req->session);
+      if (!s) {
+        emit(out, conn, error_reply(req->id, "unknown session"));
+        return;
+      }
+      if (s->engine) refresh_summary(*s);
+      emit(out, conn, summary_reply(*s, req->id));
+      return;
+    }
+
+    case Op::kSnapshot: {
+      Session* s = find_session(req->session);
+      if (!s) {
+        emit(out, conn, error_reply(req->id, "unknown session"));
+        return;
+      }
+      if (s->step_active) {
+        ++stats_.busy_replies;
+        emit(out, conn,
+             error_reply(req->id, "step in flight", Status::kBusy));
+        return;
+      }
+      Reply rep = summary_reply(*s, req->id);
+      if (s->engine) {
+        refresh_summary(*s);
+        rep = summary_reply(*s, req->id);
+        rep.blob = sim::write_checkpoint(*s->engine, s->descriptor,
+                                         sim::CkptFormat::kV2,
+                                         sim::kV2DefaultSegments, opt_.pool);
+      } else {
+        const auto bytes = sim::read_text_file(evict_path(s->id));
+        if (!bytes) {
+          ++stats_.evicted_replies;
+          emit(out, conn,
+               error_reply(req->id, "session state lost", Status::kEvicted));
+          destroy(s->id);
+          return;
+        }
+        rep.blob = *bytes;
+      }
+      emit(out, conn, rep);
+      return;
+    }
+
+    case Op::kDestroy: {
+      Session* s = find_session(req->session);
+      if (!s) {
+        emit(out, conn, error_reply(req->id, "unknown session"));
+        return;
+      }
+      if (s->engine) refresh_summary(*s);
+      Reply rep = summary_reply(*s, req->id);
+      rep.resident = false;
+      destroy(s->id);
+      emit(out, conn, rep);
+      return;
+    }
+
+    case Op::kSubscribeTrace: {
+      Session* s = find_session(req->session);
+      if (!s) {
+        emit(out, conn, error_reply(req->id, "unknown session"));
+        return;
+      }
+      s->trace_every = req->every;
+      if (req->every != 0) {
+        s->trace_next = s->time + req->every;
+        s->trace_req_id = req->id;
+        s->trace_conn = conn;
+      }
+      emit(out, conn, summary_reply(*s, req->id));
+      return;
+    }
+
+    case Op::kInfo: {
+      Reply rep;
+      rep.id = req->id;
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "sessions=%llu live=%llu created=%llu destroyed=%llu "
+                    "evictions=%llu rehydrations=%llu busy=%llu "
+                    "evicted=%llu step_requests=%llu rounds=%llu",
+                    static_cast<unsigned long long>(sessions_.size()),
+                    static_cast<unsigned long long>(live_),
+                    static_cast<unsigned long long>(stats_.created),
+                    static_cast<unsigned long long>(stats_.destroyed),
+                    static_cast<unsigned long long>(stats_.evictions),
+                    static_cast<unsigned long long>(stats_.rehydrations),
+                    static_cast<unsigned long long>(stats_.busy_replies),
+                    static_cast<unsigned long long>(stats_.evicted_replies),
+                    static_cast<unsigned long long>(stats_.step_requests),
+                    static_cast<unsigned long long>(stats_.rounds_stepped));
+      rep.message = buf;
+      emit(out, conn, rep);
+      return;
+    }
+
+    case Op::kShutdown: {
+      shutdown_ = true;
+      Reply rep;
+      rep.id = req->id;
+      rep.message = "shutting down";
+      emit(out, conn, rep);
+      return;
+    }
+  }
+  emit(out, conn, error_reply(req->id, "unhandled opcode"));
+}
+
+bool SessionService::pump(std::vector<Outgoing>& out) {
+  bool progress = false;
+
+  // Phase 1: rehydrate waiters FIFO while live slots are (or can be
+  // made) available. A waiter whose checkpoint cannot be read has lost
+  // its state: kEvicted to the requester, session destroyed.
+  while (!waiting_.empty()) {
+    if (live_ >= opt_.max_live && !pressure_evict()) break;
+    const std::uint64_t id = waiting_.front();
+    waiting_.pop_front();
+    Session* s = find_session(id);
+    if (!s || !s->waiting) continue;  // destroyed while queued
+    s->waiting = false;
+    if (rehydrate(*s)) {
+      progress = true;
+    } else {
+      ++stats_.evicted_replies;
+      if (s->step_active) {
+        emit(out, s->step_conn,
+             error_reply(s->step_req_id, "session state lost",
+                         Status::kEvicted));
+      }
+      destroy(id);
+    }
+  }
+
+  // Phase 2: one quantum for every runnable session — a single for_each
+  // on the shared pool (this thread is the pool's one dispatcher; the
+  // engines themselves never dispatch from inside a job, and nested
+  // for_each would run inline anyway).
+  std::vector<Session*> runnable;
+  for (auto& [id, s] : sessions_) {
+    if (s.engine && s.pending_rounds > 0) runnable.push_back(&s);
+  }
+  if (!runnable.empty()) {
+    progress = true;
+    std::uint64_t total = 0;
+    for (Session* s : runnable) {
+      total += std::min(s->pending_rounds, opt_.quantum);
+    }
+    stats_.rounds_stepped += total;
+    const auto step_one = [&](std::uint64_t i) {
+      Session* s = runnable[i];
+      const std::uint64_t rounds = std::min(s->pending_rounds, opt_.quantum);
+      s->engine->run(rounds);
+      s->pending_rounds -= rounds;
+    };
+    if (opt_.pool != nullptr && runnable.size() > 1 &&
+        opt_.pool->num_threads() > 1) {
+      opt_.pool->for_each(runnable.size(), step_one, 1);
+    } else {
+      for (std::uint64_t i = 0; i < runnable.size(); ++i) step_one(i);
+    }
+    // Phase 3 (same pass): finished step replies and due trace events.
+    for (Session* s : runnable) {
+      refresh_summary(*s);
+      if (s->trace_every != 0 && s->time >= s->trace_next) {
+        emit(out, s->trace_conn,
+             summary_reply(*s, s->trace_req_id, Status::kTrace));
+        while (s->trace_next <= s->time) s->trace_next += s->trace_every;
+      }
+      if (s->step_active && s->pending_rounds == 0) {
+        s->step_active = false;
+        s->idle_pumps = 0;
+        emit(out, s->step_conn, summary_reply(*s, s->step_req_id));
+      }
+    }
+  }
+
+  // Phase 4: idle accounting + eviction. Collect ids first — evict()
+  // never erases, but keeping iteration and mutation separate stays
+  // robust.
+  if (opt_.evict_after != 0) {
+    std::vector<std::uint64_t> to_evict;
+    for (auto& [id, s] : sessions_) {
+      if (!s.engine || s.step_active || s.pending_rounds > 0) continue;
+      if (++s.idle_pumps >= opt_.evict_after) to_evict.push_back(id);
+    }
+    for (std::uint64_t id : to_evict) {
+      Session* s = find_session(id);
+      if (s && s->engine && evict(*s)) progress = true;
+    }
+  }
+
+  return progress;
+}
+
+}  // namespace rr::serve

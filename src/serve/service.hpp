@@ -1,0 +1,186 @@
+#pragma once
+
+// Session-multiplexing simulation service (serve layer).
+//
+// A *session* is a live simulation: an engine built through
+// sim::EngineRegistry plus its checkpoint descriptor, addressable by a
+// server-assigned id. SessionService owns the session table and the whole
+// request/reply state machine of the rr_serverd protocol
+// (serve/protocol.hpp), but knows nothing about sockets: the transport
+// (examples/rr_serverd.cpp, bench/bench_server.cpp, the tests) feeds it
+// decoded frame payloads via handle() and ships back the Outgoing frames
+// it produces. That split keeps the scheduler deterministic and testable
+// in-process — the differential lane drives it with no daemon at all.
+//
+// Scheduling. Step requests do not run inline: handle() only queues
+// rounds, and pump() — called by the transport between poll iterations —
+// advances every runnable session by one bounded *quantum* of rounds.
+// Sessions therefore interleave fairly (a 10^9-round request cannot
+// starve the table) and the reply for a step request is emitted by the
+// pump that drains its last round. When a shared sim::ThreadPool is
+// given, one pump steps all runnable sessions in a single for_each —
+// pump() must be called from one thread only (the pool's
+// single-dispatcher contract; the daemon's poll loop is exactly that
+// thread).
+//
+// Residency. At most `max_live` sessions hold an engine in memory.  Idle
+// sessions (no queued rounds for `evict_after` consecutive pumps) are
+// evicted: serialized as an rr-ckpt v2 document (segment count pinned to
+// kV2DefaultSegments so the bytes are independent of pool width) and
+// atomically saved under ckpt_dir, the engine freed. Evicted sessions
+// still answer observe (cached summary) and snapshot (the file bytes);
+// a step request on one queues it for *rehydration* — pump restores
+// evicted waiters FIFO as live slots free up, pressure-evicting finished
+// idle sessions when the table is saturated. This is what bounds RSS at
+// 10k concurrent sessions (bench_server measures it).
+//
+// Admission. The table is bounded (`max_sessions`): create/resume beyond
+// it answer kBusy and the client retries. A step on a session that is
+// already stepping is also kBusy (one in-flight step per session keeps
+// the reply matching unambiguous). kEvicted is reserved for sessions
+// whose state is actually lost (checkpoint unreadable on rehydration) —
+// the session is destroyed and the client must recreate it.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "sim/engine.hpp"
+
+namespace rr::sim {
+class ThreadPool;
+}  // namespace rr::sim
+
+namespace rr::serve {
+
+struct ServiceOptions {
+  std::uint64_t max_sessions = 4096;  ///< session-table bound (admission)
+  std::uint64_t max_live = 256;       ///< resident engines (residency)
+  std::uint64_t quantum = 64;         ///< rounds per session per pump
+  std::uint64_t evict_after = 16;     ///< idle pumps before eviction
+  /// Default auto-checkpoint period for sessions created with every == 0
+  /// (0 = auto-checkpointing off unless the create request asks).
+  std::uint64_t auto_checkpoint_every = 0;
+  std::string ckpt_dir = "/tmp";  ///< eviction / auto-checkpoint files
+  sim::ThreadPool* pool = nullptr;  ///< shared pool (stepping + ckpt codec)
+};
+
+struct ServiceStats {
+  std::uint64_t created = 0;
+  std::uint64_t destroyed = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rehydrations = 0;
+  std::uint64_t busy_replies = 0;
+  std::uint64_t evicted_replies = 0;
+  std::uint64_t step_requests = 0;
+  std::uint64_t rounds_stepped = 0;
+};
+
+class SessionService {
+ public:
+  /// A frame to ship to connection `conn` (transport-assigned ids;
+  /// replies go back to the connection that sent the request, trace
+  /// events to the one that subscribed).
+  struct Outgoing {
+    std::uint64_t conn = 0;
+    std::string frame;
+  };
+
+  explicit SessionService(ServiceOptions opt);
+  /// Destroys every session and removes their eviction files.
+  ~SessionService();
+
+  SessionService(const SessionService&) = delete;
+  SessionService& operator=(const SessionService&) = delete;
+
+  /// Processes one decoded frame payload from `conn`. Replies (and for
+  /// malformed payloads, the id-0 error reply) are appended to `out`;
+  /// step replies are deferred to the pump that finishes the work.
+  void handle(std::uint64_t conn, const std::uint8_t* payload,
+              std::size_t size, std::vector<Outgoing>& out);
+
+  /// One scheduler tick: rehydrates waiters into free live slots, steps
+  /// every runnable session one quantum (on the shared pool when given),
+  /// emits finished step replies and due trace events, and evicts
+  /// sessions idle past the threshold. Returns true if any session made
+  /// progress. Single-dispatcher: call from one thread only.
+  bool pump(std::vector<Outgoing>& out);
+
+  /// True if a pump would do real work now (queued rounds or waiting
+  /// rehydrations) — the daemon polls with timeout 0 while this holds.
+  bool has_pending_work() const;
+
+  /// A kShutdown request was accepted; the transport should flush and
+  /// exit its loop.
+  bool shutdown_requested() const { return shutdown_; }
+
+  /// The transport lost `conn`: cancel its trace subscriptions (queued
+  /// step work still completes; the transport drops undeliverable
+  /// frames).
+  void drop_connection(std::uint64_t conn);
+
+  std::uint64_t live_sessions() const { return live_; }
+  std::uint64_t total_sessions() const { return sessions_.size(); }
+  const ServiceStats& stats() const { return stats_; }
+
+ private:
+  struct Session {
+    std::uint64_t id = 0;
+    std::string engine_name;  ///< Engine::engine_name() (registry key)
+    std::string descriptor;   ///< graph descriptor text
+    std::unique_ptr<sim::Engine> engine;  ///< null while evicted
+    // Summary of the last observed engine state; kept fresh while live,
+    // frozen at eviction so observe() answers without rehydrating.
+    std::uint64_t time = 0;
+    std::uint64_t covered = 0;
+    std::uint64_t nodes = 0;
+    std::uint64_t agents = 0;
+    std::uint64_t config_hash = 0;
+    std::uint64_t ckpt_every = 0;  ///< auto-checkpoint period (0 = off)
+    // In-flight step request (at most one per session).
+    bool step_active = false;
+    std::uint64_t pending_rounds = 0;
+    std::uint64_t step_req_id = 0;
+    std::uint64_t step_conn = 0;
+    bool waiting = false;  ///< queued in waiting_ for rehydration
+    // Trace subscription: one kTrace push per pump once time passes
+    // trace_next, id echoing the subscribe request.
+    std::uint64_t trace_every = 0;
+    std::uint64_t trace_next = 0;
+    std::uint64_t trace_req_id = 0;
+    std::uint64_t trace_conn = 0;
+    std::uint64_t idle_pumps = 0;
+  };
+
+  std::string evict_path(std::uint64_t id) const;
+  void refresh_summary(Session& s);
+  Reply summary_reply(const Session& s, std::uint64_t req_id,
+                      Status status = Status::kOk) const;
+  void emit(std::vector<Outgoing>& out, std::uint64_t conn, const Reply& rep);
+  Session* find_session(std::uint64_t id);
+  /// Serializes + frees the engine; false (session stays live) if the
+  /// checkpoint cannot be written.
+  bool evict(Session& s);
+  /// Restores the engine from the eviction file; false = state lost.
+  bool rehydrate(Session& s);
+  /// Frees a live slot for a waiter by evicting a finished idle session;
+  /// false if every live session is busy.
+  bool pressure_evict();
+  void arm_auto_checkpoint(Session& s);
+  void destroy(std::uint64_t id);
+
+  ServiceOptions opt_;
+  ServiceStats stats_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::deque<std::uint64_t> waiting_;  ///< evicted sessions with queued work
+  std::uint64_t next_id_ = 1;
+  std::uint64_t live_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rr::serve

@@ -96,8 +96,13 @@ void register_rotor(EngineRegistry& r) {
               state, *g, std::vector<graph::NodeId>{0},
               std::vector<std::uint32_t>{}, c.shards, c.pool);
         }
-        return restored<core::RotorRouter>(state, *g,
-                                           std::vector<graph::NodeId>{0});
+        // A pool without a shard request still helps: the sequential
+        // engine's restore decodes v2 per-node segments pool-parallel
+        // (bit-identical result; see deserialize_rotor_state).
+        auto engine = std::make_unique<core::RotorRouter>(
+            *g, std::vector<graph::NodeId>{0});
+        if (!engine->deserialize_state(state, c.pool)) return nullptr;
+        return engine;
       },
   });
 }

@@ -1,5 +1,6 @@
 #include "sim/checkpoint.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -19,6 +20,8 @@ namespace rr::sim {
 
 namespace detail {
 std::size_t g_atomic_write_cap = ~std::size_t{0};
+bool g_dir_fsync_fail = false;
+bool g_dir_fsync_warned = false;
 }  // namespace detail
 
 namespace {
@@ -115,7 +118,8 @@ std::string write_checkpoint(const Engine& engine,
   return out;
 }
 
-std::optional<ParsedCheckpoint> parse_checkpoint(const std::string& text) {
+std::optional<ParsedCheckpoint> parse_checkpoint(const std::string& text,
+                                                 ThreadPool* pool) {
   std::size_t eol = text.find('\n');
   if (eol == std::string::npos) return std::nullopt;
   const std::string_view header(text.data(), eol);
@@ -126,7 +130,7 @@ std::optional<ParsedCheckpoint> parse_checkpoint(const std::string& text) {
     if (!names) return std::nullopt;
     auto state = decode_checkpoint_v2_body(
         reinterpret_cast<const std::uint8_t*>(text.data()) + eol + 1,
-        text.size() - eol - 1);
+        text.size() - eol - 1, pool);
     if (!state) return std::nullopt;
     return ParsedCheckpoint{names->first, names->second, std::move(*state)};
   }
@@ -154,8 +158,8 @@ std::optional<ParsedCheckpoint> parse_checkpoint(const std::string& text) {
   return ParsedCheckpoint{names->first, names->second, std::move(*state)};
 }
 
-std::optional<ParsedCheckpoint> parse_checkpoint_file(
-    const std::string& path) {
+std::optional<ParsedCheckpoint> parse_checkpoint_file(const std::string& path,
+                                                      ThreadPool* pool) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return std::nullopt;
   // RAII-close whatever path exits below.
@@ -178,8 +182,8 @@ std::optional<ParsedCheckpoint> parse_checkpoint_file(
     if (std::fseek(f, 0, SEEK_END) != 0) return std::nullopt;
     const long size = std::ftell(f);
     if (size < 0) return std::nullopt;
-    auto state = decode_checkpoint_v2_file(f, body_offset,
-                                           static_cast<std::uint64_t>(size));
+    auto state = decode_checkpoint_v2_file(
+        f, body_offset, static_cast<std::uint64_t>(size), pool);
     if (!state) return std::nullopt;
     return ParsedCheckpoint{names->first, names->second, std::move(*state)};
   }
@@ -237,7 +241,7 @@ std::unique_ptr<Engine> restore_checkpoint_sharded(
 std::unique_ptr<Engine> restore_checkpoint_file(const std::string& path,
                                                 std::uint32_t shards,
                                                 ThreadPool* pool) {
-  const auto parsed = parse_checkpoint_file(path);
+  const auto parsed = parse_checkpoint_file(path, pool);
   if (!parsed) return nullptr;
   return restore_checkpoint_sharded(*parsed, shards, pool);
 }
@@ -270,17 +274,45 @@ bool save_checkpoint_file_atomic(const std::string& path,
 #endif
   ok = std::fclose(f) == 0 && ok;
   if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+    const int rename_errno = errno;
+    if (std::remove(tmp.c_str()) != 0) {
+      // The stale tmp file lingers next to the checkpoint; say so rather
+      // than silently leaking it (and don't let remove clobber the
+      // original failure's errno in what we report).
+      std::fprintf(stderr,
+                   "rr-ckpt: cannot remove stale %s (%s; save failed: %s)\n",
+                   tmp.c_str(), std::strerror(errno),
+                   std::strerror(rename_errno));
+    }
     return false;
   }
 #if defined(__unix__) || defined(__APPLE__)
-  // Persist the rename itself (directory entry).
+  // Persist the rename itself (directory entry). Durability-only: the
+  // rename has already happened, so failure here cannot corrupt the
+  // checkpoint — but it must be observable (a system crash could revert
+  // to the previous checkpoint), so warn once per process instead of
+  // swallowing it.
+  //
+  // Parent derivation: no slash -> cwd "."; a path like "/file" has its
+  // parent at "/" (substr(0, 0) would yield "" and open("") fails).
   const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  const std::string dir = slash == std::string::npos ? "."
+                          : slash == 0               ? "/"
+                                                     : path.substr(0, slash);
+  const int dfd =
+      detail::g_dir_fsync_fail ? -1 : ::open(dir.c_str(), O_RDONLY);
+  bool dir_synced = false;
   if (dfd >= 0) {
-    ::fsync(dfd);
+    dir_synced = ::fsync(dfd) == 0;
     ::close(dfd);
+  }
+  if (!dir_synced && !detail::g_dir_fsync_warned) {
+    detail::g_dir_fsync_warned = true;
+    std::fprintf(stderr,
+                 "rr-ckpt: warning: cannot fsync directory %s (%s); a system "
+                 "crash may revert %s to its previous contents "
+                 "(further occurrences not reported)\n",
+                 dir.c_str(), std::strerror(errno), path.c_str());
   }
 #endif
   return true;

@@ -80,13 +80,19 @@ struct ParsedCheckpoint {
 };
 
 /// Splits and validates an in-memory document (either format, sniffed
-/// from the magic); nullopt on any malformed framing.
-std::optional<ParsedCheckpoint> parse_checkpoint(const std::string& text);
+/// from the magic); nullopt on any malformed framing. With a `pool`, v2
+/// frames decode in parallel (the wire makes per-node frames
+/// independently decodable on purpose); the result is identical either
+/// way.
+std::optional<ParsedCheckpoint> parse_checkpoint(const std::string& text,
+                                                 ThreadPool* pool = nullptr);
 
 /// Streaming file parse: reads the document incrementally (v1 line by
 /// line, v2 frame by frame via the footer index), so peak memory is
-/// O(largest frame/field), not O(file).
-std::optional<ParsedCheckpoint> parse_checkpoint_file(const std::string& path);
+/// O(largest frame/field), not O(file). With a `pool`, batches of v2
+/// frames are read then decoded in parallel.
+std::optional<ParsedCheckpoint> parse_checkpoint_file(
+    const std::string& path, ThreadPool* pool = nullptr);
 
 /// Rebuilds the graph, instantiates the named backend, and restores the
 /// state. nullptr on malformed input, unknown engine, or a state body
@@ -139,6 +145,14 @@ namespace detail {
 /// write reports failure — simulating ENOSPC / a short write mid-frame.
 /// The fault-injection test asserts the previous checkpoint survives.
 extern std::size_t g_atomic_write_cap;
+/// Test-only: forces the directory-fsync step of
+/// save_checkpoint_file_atomic to take its failure path (as if the
+/// parent could not be opened), so the warn-once behavior is testable.
+extern bool g_dir_fsync_fail;
+/// True once save_checkpoint_file_atomic has warned about a failed
+/// directory fsync (it warns at most once per process — auto-checkpoint
+/// sinks fire thousands of times). Tests may reset it.
+extern bool g_dir_fsync_warned;
 }  // namespace detail
 
 }  // namespace rr::sim

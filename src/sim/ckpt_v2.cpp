@@ -1,5 +1,6 @@
 #include "sim/ckpt_v2.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <type_traits>
@@ -27,7 +28,6 @@ enum : std::uint8_t {
 constexpr std::size_t kFooterEntryBytes = 40;
 constexpr std::size_t kFooterTailBytes = 16;  // num_frames, crc, magic
 constexpr std::size_t kMaxKeyBytes = 255;
-constexpr std::uint32_t kDefaultSegments = 4;
 
 // ---- encoding ----
 
@@ -610,7 +610,7 @@ std::string encode_checkpoint_v2(const std::string& engine_name,
   for (const WriterField& f : state.fields()) {
     (is_per_node(f, num_nodes) ? per_node : frame0).push_back(&f);
   }
-  std::uint64_t nseg = segments > 0 ? segments : kDefaultSegments;
+  std::uint64_t nseg = segments > 0 ? segments : kV2DefaultSegments;
   if (per_node.empty()) nseg = 0;
   if (nseg > num_nodes) nseg = num_nodes;
   const std::size_t num_frames = static_cast<std::size_t>(1 + nseg);
@@ -730,7 +730,8 @@ std::optional<StateReader> decode_checkpoint_v2_body(const std::uint8_t* data,
 
 std::optional<StateReader> decode_checkpoint_v2_file(std::FILE* f,
                                                      std::uint64_t body_offset,
-                                                     std::uint64_t file_size) {
+                                                     std::uint64_t file_size,
+                                                     ThreadPool* pool) {
   if (file_size < body_offset ||
       file_size - body_offset < kFooterTailBytes) {
     return std::nullopt;
@@ -765,20 +766,48 @@ std::optional<StateReader> decode_checkpoint_v2_file(std::FILE* f,
       parse_footer(footer.data(), footer.size(), body_plus_footer, &body_size);
   if (!entries) return std::nullopt;
 
+  // Frames are consumed in index order (the Assembler stitches per-node
+  // segments contiguously) but are independently decodable, so with a
+  // pool the loop works a batch at a time: read a window of consecutive
+  // frames sequentially (frames tile the body, so this is one contiguous
+  // read), CRC-check and decode them in parallel, then feed the results
+  // to the assembler in order. Peak memory is O(batch), matching the
+  // streaming contract; without a pool the batch is one frame and the
+  // behavior is the old loop exactly.
+  const std::size_t batch =
+      pool != nullptr ? static_cast<std::size_t>(pool->num_threads()) * 2 : 1;
   Assembler assembler;
-  std::vector<std::uint8_t> frame;
-  for (std::size_t i = 0; i < entries->size(); ++i) {
-    const FrameEntry& e = (*entries)[i];
-    frame.resize(static_cast<std::size_t>(e.length));
-    if (std::fseek(f, static_cast<long>(body_offset + e.offset), SEEK_SET) !=
-            0 ||
-        std::fread(frame.data(), 1, frame.size(), f) != frame.size()) {
+  std::vector<std::uint8_t> buf;
+  std::vector<std::optional<std::vector<DecodedField>>> decoded;
+  for (std::size_t lo = 0; lo < entries->size(); lo += batch) {
+    const std::size_t hi = std::min(lo + batch, entries->size());
+    const FrameEntry& first = (*entries)[lo];
+    const FrameEntry& last = (*entries)[hi - 1];
+    const std::uint64_t span = last.offset + last.length - first.offset;
+    buf.resize(static_cast<std::size_t>(span));
+    if (std::fseek(f, static_cast<long>(body_offset + first.offset),
+                   SEEK_SET) != 0 ||
+        std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
       return std::nullopt;
     }
-    if (wire::crc32(frame.data(), frame.size()) != e.crc) return std::nullopt;
-    auto fields = decode_frame(frame.data(), frame.size());
-    if (!fields || !assembler.add_frame(i, e, std::move(*fields))) {
-      return std::nullopt;
+    decoded.assign(hi - lo, std::nullopt);
+    const auto decode_one = [&](std::uint64_t j) {
+      const FrameEntry& e = (*entries)[lo + j];
+      const std::uint8_t* frame = buf.data() + (e.offset - first.offset);
+      if (wire::crc32(frame, e.length) != e.crc) return;  // stays nullopt
+      decoded[j] = decode_frame(frame, static_cast<std::size_t>(e.length));
+    };
+    if (pool != nullptr && hi - lo > 1) {
+      pool->for_each(hi - lo, decode_one, /*chunk=*/1);
+    } else {
+      for (std::uint64_t j = 0; j < hi - lo; ++j) decode_one(j);
+    }
+    for (std::size_t j = 0; j < hi - lo; ++j) {
+      if (!decoded[j] ||
+          !assembler.add_frame(lo + j, (*entries)[lo + j],
+                               std::move(*decoded[j]))) {
+        return std::nullopt;
+      }
     }
   }
   return assembler.finish();

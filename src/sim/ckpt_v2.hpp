@@ -60,6 +60,13 @@ inline constexpr const char* kCheckpointMagicV2 = "rr-ckpt v2";
 /// Trailer magic, "RRCKPTv2" read as a little-endian u64.
 inline constexpr std::uint64_t kV2TrailerMagic = 0x327654504B435252ull;
 
+/// Per-node frame count encode_checkpoint_v2 uses when `segments` is 0
+/// and no pool is given. Callers that need byte-identical documents
+/// regardless of pool width (the serving layer's snapshot-vs-rr_cli
+/// bit-equality contract) pass this explicitly: segments pins the
+/// layout, the pool only parallelizes the work.
+inline constexpr std::uint32_t kV2DefaultSegments = 4;
+
 /// Encodes a full v2 document (header line, frames, footer).
 /// `num_nodes` identifies the per-node arrays (fields of exactly that
 /// length); `segments` is the number of per-node frames (0 picks a
@@ -79,13 +86,16 @@ std::optional<StateReader> decode_checkpoint_v2_body(const std::uint8_t* data,
                                                      std::size_t size,
                                                      ThreadPool* pool = nullptr);
 
-/// Streaming variant: reads frames one at a time from `f` (opened "rb"),
-/// holding O(largest frame) bytes rather than the whole file.
+/// Streaming variant: reads frames a batch at a time from `f` (opened
+/// "rb"), holding O(batch of frames) bytes rather than the whole file.
 /// `body_offset` is the file position just past the header line;
-/// `file_size` the total size. The stream position is unspecified after
-/// the call.
-std::optional<StateReader> decode_checkpoint_v2_file(std::FILE* f,
-                                                     std::uint64_t body_offset,
-                                                     std::uint64_t file_size);
+/// `file_size` the total size. With a `pool`, each batch of frames is
+/// read sequentially then CRC-checked and decoded in parallel (frames
+/// are independently decodable by design); without one the batch is a
+/// single frame and the behavior matches the old one-at-a-time loop.
+/// The stream position is unspecified after the call.
+std::optional<StateReader> decode_checkpoint_v2_file(
+    std::FILE* f, std::uint64_t body_offset, std::uint64_t file_size,
+    ThreadPool* pool = nullptr);
 
 }  // namespace rr::sim

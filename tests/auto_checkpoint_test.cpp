@@ -227,6 +227,62 @@ TEST(AutoCheckpoint, SinkSurvivesWriteFaultsAndRecovers) {
   std::remove(path.c_str());
 }
 
+TEST(AutoCheckpoint, DirFsyncFailureWarnsOncePerProcess) {
+  // The directory fsync after the rename is durability-only: its failure
+  // must not fail the save, but it must be observable — exactly one
+  // stderr warning per process (auto-checkpoint sinks fire thousands of
+  // times), exercised via the fault-injection hook.
+  const std::string path = temp_path("auto_ckpt_dirsync.rrc");
+  std::remove(path.c_str());
+  detail::g_dir_fsync_warned = false;
+  detail::g_dir_fsync_fail = true;
+  ::testing::internal::CaptureStderr();
+  EXPECT_TRUE(save_checkpoint_file_atomic(path, "payload one"));
+  EXPECT_TRUE(save_checkpoint_file_atomic(path, "payload two"));
+  const std::string warnings = ::testing::internal::GetCapturedStderr();
+  detail::g_dir_fsync_fail = false;
+  EXPECT_TRUE(detail::g_dir_fsync_warned);
+  // Warned exactly once, naming the directory.
+  const std::size_t first = warnings.find("cannot fsync directory");
+  ASSERT_NE(first, std::string::npos) << warnings;
+  EXPECT_EQ(warnings.find("cannot fsync directory", first + 1),
+            std::string::npos);
+  // Both saves landed despite the failed fsync.
+  EXPECT_EQ(read_text_file(path), std::optional<std::string>{"payload two"});
+  std::remove(path.c_str());
+  detail::g_dir_fsync_warned = false;
+}
+
+TEST(AutoCheckpoint, SlashlessPathSyncsTheWorkingDirectory) {
+  // A bare filename has its parent at "." — before the fix this case
+  // skipped the directory fsync silently (find_last_of('/') == npos was
+  // treated as "nothing to sync"). The save must succeed and not warn.
+  detail::g_dir_fsync_warned = false;
+  const std::string name = "auto_ckpt_noslash_test_file.rrc";
+  std::remove(name.c_str());
+  ::testing::internal::CaptureStderr();
+  EXPECT_TRUE(save_checkpoint_file_atomic(name, "cwd payload"));
+  const std::string warnings = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(warnings.find("cannot fsync directory"), std::string::npos)
+      << warnings;
+  EXPECT_FALSE(detail::g_dir_fsync_warned);
+  EXPECT_EQ(read_text_file(name), std::optional<std::string>{"cwd payload"});
+  std::remove(name.c_str());
+}
+
+TEST(AutoCheckpoint, UnwritableTargetsFailCleanly) {
+  // Nonexistent parent: the tmp file cannot even open.
+  EXPECT_FALSE(save_checkpoint_file_atomic(
+      "/nonexistent-rr-dir-47291/ckpt.rrc", "payload"));
+  // Trailing slash (a directory, not a file): the tmp write or the
+  // rename fails; either way the call reports failure, leaves no
+  // residue, and does not crash.
+  const std::string dir_path = ::testing::TempDir() + "/";
+  EXPECT_FALSE(save_checkpoint_file_atomic(dir_path, "payload"));
+  EXPECT_EQ(std::optional<std::string>{std::nullopt},
+            read_text_file(dir_path + ".tmp"));
+}
+
 TEST(AutoCheckpoint, DisablingStopsFiring) {
   const graph::Graph g = graph::ring(16);
   core::RotorRouter rr(g, {0});

@@ -1,0 +1,229 @@
+// rr_serverd wire protocol: the frame splitter and payload codecs must
+// be total over hostile byte streams — the same discipline (and fuzz
+// shapes) as the rr-ckpt v2 lane in ckpt_v2_test.cpp. A server reading
+// an untrusted socket may drop a connection, never abort or balloon
+// memory.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/protocol.hpp"
+#include "sim/wire.hpp"
+
+namespace rr::serve {
+namespace {
+
+using rr::Rng;
+
+const std::uint8_t* bytes(const std::string& s) {
+  return reinterpret_cast<const std::uint8_t*>(s.data());
+}
+
+Request sample_request() {
+  Request req;
+  req.id = 7;
+  req.op = Op::kCreate;
+  req.engine = "rotor";
+  req.graph = "ring 96";
+  req.k = 4;
+  req.seed = 99;
+  req.agents = {0, 24, 48, 72};
+  req.session = 3;
+  req.rounds = 257;
+  req.every = 16;
+  req.blob = std::string("rr-ckpt v2\x00\x01\x02", 13);
+  return req;
+}
+
+Reply sample_reply() {
+  Reply rep;
+  rep.id = 7;
+  rep.status = Status::kOk;
+  rep.session = 3;
+  rep.time = 257;
+  rep.covered = 96;
+  rep.nodes = 96;
+  rep.agents = 4;
+  rep.config_hash = 0xDEADBEEFCAFEF00Dull;
+  rep.resident = true;
+  rep.message = "ok";
+  rep.blob = std::string("\x00\xff", 2);
+  return rep;
+}
+
+TEST(ServeProtocol, RequestRoundTripsThroughTheCodec) {
+  const Request req = sample_request();
+  const std::string payload = encode_request(req);
+  const auto back = decode_request(bytes(payload), payload.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, req.id);
+  EXPECT_EQ(back->op, req.op);
+  EXPECT_EQ(back->engine, req.engine);
+  EXPECT_EQ(back->graph, req.graph);
+  EXPECT_EQ(back->k, req.k);
+  EXPECT_EQ(back->seed, req.seed);
+  EXPECT_EQ(back->agents, req.agents);
+  EXPECT_EQ(back->session, req.session);
+  EXPECT_EQ(back->rounds, req.rounds);
+  EXPECT_EQ(back->every, req.every);
+  EXPECT_EQ(back->blob, req.blob);
+}
+
+TEST(ServeProtocol, ReplyRoundTripsThroughTheCodec) {
+  const Reply rep = sample_reply();
+  const std::string payload = encode_reply(rep);
+  const auto back = decode_reply(bytes(payload), payload.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, rep.id);
+  EXPECT_EQ(back->status, rep.status);
+  EXPECT_EQ(back->session, rep.session);
+  EXPECT_EQ(back->time, rep.time);
+  EXPECT_EQ(back->covered, rep.covered);
+  EXPECT_EQ(back->nodes, rep.nodes);
+  EXPECT_EQ(back->agents, rep.agents);
+  EXPECT_EQ(back->config_hash, rep.config_hash);
+  EXPECT_EQ(back->resident, rep.resident);
+  EXPECT_EQ(back->message, rep.message);
+  EXPECT_EQ(back->blob, rep.blob);
+}
+
+TEST(ServeProtocol, TrailingBytesAndBadTagsAreRejected) {
+  const std::string payload = encode_request(sample_request());
+  // Trailing garbage after a complete request.
+  EXPECT_FALSE(decode_request(bytes(payload + "x"), payload.size() + 1));
+  // Every truncation is rejected (no partial decode).
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(decode_request(bytes(payload), cut)) << "cut=" << cut;
+  }
+  // Unknown opcode byte (opcode sits right after the id varint; id 7 is
+  // one byte).
+  std::string bad = payload;
+  bad[1] = 0;
+  EXPECT_FALSE(decode_request(bytes(bad), bad.size()));
+  bad[1] = 127;
+  EXPECT_FALSE(decode_request(bytes(bad), bad.size()));
+  // Reply: status and resident bytes are validated the same way.
+  const std::string rep = encode_reply(sample_reply());
+  std::string bad_rep = rep;
+  bad_rep[1] = 9;
+  EXPECT_FALSE(decode_reply(bytes(bad_rep), bad_rep.size()));
+  for (std::size_t cut = 0; cut < rep.size(); ++cut) {
+    EXPECT_FALSE(decode_reply(bytes(rep), cut)) << "cut=" << cut;
+  }
+}
+
+TEST(ServeProtocol, CraftedAgentCountCannotBalloonMemory) {
+  // A request whose agent_count claims 2^60 entries but carries none:
+  // the decoder must reject (count > remaining payload bytes) instead of
+  // reserving.
+  std::string payload;
+  sim::wire::put_varint(payload, 1);  // id
+  payload.push_back(static_cast<char>(Op::kCreate));
+  sim::wire::put_varint(payload, 0);  // engine ""
+  sim::wire::put_varint(payload, 0);  // graph ""
+  sim::wire::put_varint(payload, 1);  // k
+  sim::wire::put_varint(payload, 1);  // seed
+  sim::wire::put_varint(payload, 1ull << 60);  // agent_count
+  EXPECT_FALSE(decode_request(bytes(payload), payload.size()));
+}
+
+TEST(ServeProtocol, FrameDecoderSplitsAPipelinedStream) {
+  // Three frames, fed byte by byte: payloads come out intact, in order,
+  // and the buffer never holds more than what actually arrived.
+  const std::vector<std::string> payloads = {
+      encode_request(sample_request()), encode_reply(sample_reply()),
+      std::string()};  // empty payload is a legal frame
+  std::string stream;
+  for (const auto& p : payloads) stream += encode_frame(p);
+
+  FrameDecoder dec;
+  std::vector<std::string> got;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto b = static_cast<std::uint8_t>(stream[i]);
+    dec.feed(&b, 1);
+    EXPECT_LE(dec.buffered(), i + 1);
+    while (const auto payload = dec.next()) got.push_back(*payload);
+  }
+  EXPECT_FALSE(dec.fatal());
+  EXPECT_EQ(got, payloads);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(ServeProtocol, OversizedLengthDeclarationIsFatalWithoutAllocation) {
+  // 4 header bytes declaring a 1 GiB payload: fatal immediately, and the
+  // decoder holds only the 4 bytes that arrived.
+  std::string header;
+  sim::wire::put_u32le(header, (1u << 30));
+  FrameDecoder dec;
+  dec.feed(bytes(header), header.size());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.fatal());
+  EXPECT_LE(dec.buffered(), 4u);
+  // Fatal is sticky: later good frames are not decoded.
+  const std::string good = encode_frame("hello");
+  dec.feed(bytes(good), good.size());
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(ServeProtocol, CrcFlipIsFatal) {
+  const std::string frame = encode_frame(encode_reply(sample_reply()));
+  for (const std::size_t at : {4ul, frame.size() / 2, frame.size() - 1}) {
+    std::string mutated = frame;
+    mutated[at] = static_cast<char>(mutated[at] ^ 1);
+    FrameDecoder dec;
+    dec.feed(bytes(mutated), mutated.size());
+    EXPECT_FALSE(dec.next().has_value()) << "at=" << at;
+    EXPECT_TRUE(dec.fatal()) << "at=" << at;
+  }
+}
+
+TEST(ServeProtocol, FuzzedStreamsNeverAbort) {
+  // Random flips / deletions / duplications over a real multi-frame
+  // stream, mirroring the ckpt_v2 fuzz lane: the decoder either yields
+  // payloads (which the request codec then accepts or rejects) or goes
+  // fatal — never aborts, never hands back a frame longer than the
+  // stream.
+  std::string stream;
+  for (int i = 0; i < 4; ++i) {
+    Request req = sample_request();
+    req.id = static_cast<std::uint64_t>(i) + 1;
+    stream += encode_frame(encode_request(req));
+  }
+  Rng rng(0xF0CC);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = stream;
+    const int op = static_cast<int>(rng.bounded(3));
+    if (op == 0) {
+      mutated[rng.bounded(static_cast<std::uint32_t>(mutated.size()))] =
+          static_cast<char>(rng.bounded(256));
+    } else if (op == 1) {
+      mutated.erase(rng.bounded(static_cast<std::uint32_t>(mutated.size())),
+                    1 + rng.bounded(16));
+    } else {
+      const std::size_t at =
+          rng.bounded(static_cast<std::uint32_t>(mutated.size()));
+      mutated.insert(at, mutated.substr(at, 1 + rng.bounded(8)));
+    }
+    FrameDecoder dec;
+    // Feed in random-sized chunks to also fuzz the partial-frame path.
+    std::size_t fed = 0;
+    while (fed < mutated.size()) {
+      const std::size_t chunk = std::min<std::size_t>(
+          1 + rng.bounded(64), mutated.size() - fed);
+      dec.feed(bytes(mutated) + fed, chunk);
+      fed += chunk;
+      while (const auto payload = dec.next()) {
+        ASSERT_LE(payload->size(), mutated.size());
+        (void)decode_request(bytes(*payload), payload->size());
+      }
+      if (dec.fatal()) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rr::serve

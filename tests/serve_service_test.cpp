@@ -1,0 +1,410 @@
+// serve::SessionService: the session-multiplexing state machine behind
+// rr_serverd, driven in-process through the real wire codecs.
+//
+// The load-bearing lane is differential: a session created and stepped
+// through the service — across eviction/rehydration cycles — must be
+// *bit-identical* (config_hash and full v2 snapshot bytes) to the same
+// engine driven directly through sim::EngineRegistry, for every
+// registered deterministic backend. That is the server's whole
+// correctness claim: serving a simulation changes nothing about it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/ckpt_v2.hpp"
+#include "sim/registry.hpp"
+
+namespace rr::serve {
+namespace {
+
+std::string test_dir() { return ::testing::TempDir(); }
+
+/// In-process driver: requests through the real codecs, replies decoded
+/// off the Outgoing frames and indexed by request id.
+struct Driver {
+  SessionService service;
+  std::vector<SessionService::Outgoing> out;
+  std::unordered_map<std::uint64_t, Reply> replies;
+  std::vector<Reply> traces;
+  std::uint64_t next_id = 1;
+
+  explicit Driver(ServiceOptions opt) : service(std::move(opt)) {}
+
+  std::uint64_t send(Request req, std::uint64_t conn = 1) {
+    req.id = next_id++;
+    const std::string payload = encode_request(req);
+    service.handle(conn,
+                   reinterpret_cast<const std::uint8_t*>(payload.data()),
+                   payload.size(), out);
+    drain();
+    return req.id;
+  }
+
+  void drain() {
+    for (const auto& o : out) {
+      const auto rep = decode_reply(
+          reinterpret_cast<const std::uint8_t*>(o.frame.data()) + 4,
+          o.frame.size() - 8);
+      ASSERT_TRUE(rep.has_value());
+      if (rep->status == Status::kTrace) {
+        traces.push_back(*rep);
+      } else {
+        replies.emplace(rep->id, *rep);
+      }
+    }
+    out.clear();
+  }
+
+  /// Pumps until the reply for `id` lands (bounded; fails the test on a
+  /// stalled scheduler).
+  const Reply& await(std::uint64_t id) {
+    for (int spin = 0; spin < 100000 && !replies.count(id); ++spin) {
+      service.pump(out);
+      drain();
+    }
+    EXPECT_TRUE(replies.count(id)) << "no reply for id " << id;
+    return replies.at(id);
+  }
+
+  const Reply& call(Request req, std::uint64_t conn = 1) {
+    return await(send(std::move(req), conn));
+  }
+};
+
+Request create_req(const std::string& engine, const std::string& graph,
+                   std::uint64_t k) {
+  Request req;
+  req.op = Op::kCreate;
+  req.engine = engine;
+  req.graph = graph;
+  req.k = k;
+  return req;
+}
+
+Request step_req(std::uint64_t session, std::uint64_t rounds) {
+  Request req;
+  req.op = Op::kStep;
+  req.session = session;
+  req.rounds = rounds;
+  return req;
+}
+
+/// The reference: same (engine, graph, k) driven directly through the
+/// registry, with rr_cli's agent spread.
+std::unique_ptr<sim::Engine> direct_engine(const std::string& engine,
+                                           const std::string& graph,
+                                           std::uint64_t k) {
+  const auto d = graph::GraphDescriptor::parse(graph);
+  EXPECT_TRUE(d.has_value());
+  const auto n = d->num_nodes();
+  sim::EngineConfig config;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    config.agents.push_back(static_cast<sim::NodeId>(i * *n / k));
+  }
+  std::string error;
+  auto e = sim::EngineRegistry::instance().create(engine, *d, config, &error);
+  EXPECT_NE(e, nullptr) << error;
+  return e;
+}
+
+TEST(ServeService, ServedRunsAreBitIdenticalToDirectRuns) {
+  // Every deterministic backend, 257 rounds in three unequal chunks
+  // through the wire, against one uninterrupted direct run. Hash AND
+  // snapshot bytes must match (segments pinned, so byte equality is
+  // well-defined).
+  for (const std::string engine : {"rotor", "ring", "lazy", "eulerian"}) {
+    SCOPED_TRACE(engine);
+    const std::string graph = "ring 96";
+    const std::uint64_t k = 4;
+
+    ServiceOptions opt;
+    opt.ckpt_dir = test_dir();
+    opt.quantum = 32;  // several pumps per chunk
+    Driver drv(opt);
+    const Reply& created = drv.call(create_req(engine, graph, k));
+    ASSERT_EQ(created.status, Status::kOk);
+    const std::uint64_t session = created.session;
+    for (const std::uint64_t rounds : {100ull, 156ull, 1ull}) {
+      const Reply& stepped = drv.call(step_req(session, rounds));
+      ASSERT_EQ(stepped.status, Status::kOk);
+    }
+
+    auto direct = direct_engine(engine, graph, k);
+    direct->run(257);
+
+    Request snap;
+    snap.op = Op::kSnapshot;
+    snap.session = session;
+    const Reply& snapped = drv.call(snap);
+    ASSERT_EQ(snapped.status, Status::kOk);
+    EXPECT_EQ(snapped.time, 257u);
+    EXPECT_EQ(snapped.config_hash, direct->config_hash());
+    EXPECT_EQ(snapped.covered, direct->covered_count());
+    const std::string direct_doc = sim::write_checkpoint(
+        *direct, graph, sim::CkptFormat::kV2, sim::kV2DefaultSegments);
+    EXPECT_EQ(snapped.blob, direct_doc);
+  }
+}
+
+TEST(ServeService, EvictionAndRehydrationPreserveStateBitForBit) {
+  // Six sessions over a two-slot live table: every step forces churn
+  // through rr-ckpt v2 files. Final states must match six direct runs.
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  opt.max_live = 2;
+  opt.quantum = 64;
+  opt.evict_after = 1;  // evict aggressively
+  Driver drv(opt);
+
+  const std::string graph = "ring 96";
+  std::vector<std::uint64_t> sessions;
+  for (int i = 0; i < 6; ++i) {
+    const Reply& created = drv.call(create_req("rotor", graph, 4));
+    ASSERT_EQ(created.status, Status::kOk);
+    sessions.push_back(created.session);
+  }
+  EXPECT_LE(drv.service.live_sessions(), 2u);
+
+  for (int chunk = 0; chunk < 3; ++chunk) {
+    std::vector<std::uint64_t> ids;
+    for (const std::uint64_t s : sessions) ids.push_back(drv.send(step_req(s, 85)));
+    for (const std::uint64_t id : ids) {
+      ASSERT_EQ(drv.await(id).status, Status::kOk);
+    }
+    EXPECT_LE(drv.service.live_sessions(), 2u);
+  }
+  EXPECT_GT(drv.service.stats().evictions, 0u);
+  EXPECT_GT(drv.service.stats().rehydrations, 0u);
+
+  auto direct = direct_engine("rotor", graph, 4);
+  direct->run(255);
+  for (const std::uint64_t s : sessions) {
+    Request obs;
+    obs.op = Op::kObserve;
+    obs.session = s;
+    const Reply& rep = drv.call(obs);
+    ASSERT_EQ(rep.status, Status::kOk);
+    EXPECT_EQ(rep.time, 255u);
+    EXPECT_EQ(rep.config_hash, direct->config_hash());
+  }
+}
+
+TEST(ServeService, SnapshotOfAnEvictedSessionServesTheFileBytes) {
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  opt.max_live = 1;
+  opt.evict_after = 1;
+  Driver drv(opt);
+  const Reply& a = drv.call(create_req("rotor", "ring 96", 4));
+  drv.call(step_req(a.session, 64));
+  // Creating a second session pressure-evicts the first.
+  const Reply& b = drv.call(create_req("rotor", "ring 96", 4));
+  ASSERT_EQ(b.status, Status::kOk);
+  Request obs;
+  obs.op = Op::kObserve;
+  obs.session = a.session;
+  EXPECT_FALSE(drv.call(obs).resident);
+
+  Request snap;
+  snap.op = Op::kSnapshot;
+  snap.session = a.session;
+  const Reply& snapped = drv.call(snap);
+  ASSERT_EQ(snapped.status, Status::kOk);
+  EXPECT_FALSE(snapped.resident);
+  auto direct = direct_engine("rotor", "ring 96", 4);
+  direct->run(64);
+  EXPECT_EQ(snapped.blob,
+            sim::write_checkpoint(*direct, "ring 96", sim::CkptFormat::kV2,
+                                  sim::kV2DefaultSegments));
+}
+
+TEST(ServeService, ResumeRoundTripsASnapshot) {
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  Driver drv(opt);
+  const Reply& created = drv.call(create_req("rotor", "torus 8 8", 3));
+  drv.call(step_req(created.session, 123));
+  Request snap;
+  snap.op = Op::kSnapshot;
+  snap.session = created.session;
+  const Reply& snapped = drv.call(snap);
+  ASSERT_EQ(snapped.status, Status::kOk);
+
+  Request resume;
+  resume.op = Op::kResume;
+  resume.blob = snapped.blob;
+  const Reply& resumed = drv.call(resume);
+  ASSERT_EQ(resumed.status, Status::kOk);
+  EXPECT_NE(resumed.session, created.session);
+  EXPECT_EQ(resumed.time, 123u);
+  EXPECT_EQ(resumed.config_hash, snapped.config_hash);
+
+  // Both copies continue identically.
+  const Reply& s1 = drv.call(step_req(created.session, 50));
+  const Reply& s2 = drv.call(step_req(resumed.session, 50));
+  EXPECT_EQ(s1.config_hash, s2.config_hash);
+  EXPECT_EQ(s1.time, 173u);
+
+  Request bad;
+  bad.op = Op::kResume;
+  bad.blob = "not a checkpoint";
+  EXPECT_EQ(drv.call(bad).status, Status::kError);
+}
+
+TEST(ServeService, AdmissionAndDoubleStepAnswerBusy) {
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  opt.max_sessions = 2;
+  opt.max_live = 2;
+  Driver drv(opt);
+  const Reply& a = drv.call(create_req("rotor", "ring 96", 4));
+  const Reply& b = drv.call(create_req("rotor", "ring 96", 4));
+  ASSERT_EQ(a.status, Status::kOk);
+  ASSERT_EQ(b.status, Status::kOk);
+  // Table full: third create refused, retryable.
+  EXPECT_EQ(drv.call(create_req("rotor", "ring 96", 4)).status,
+            Status::kBusy);
+  // A step while one is in flight on the same session is refused.
+  const std::uint64_t pending = drv.send(step_req(a.session, 100000));
+  EXPECT_EQ(drv.call(step_req(a.session, 1)).status, Status::kBusy);
+  ASSERT_EQ(drv.await(pending).status, Status::kOk);
+  // After the first finishes, stepping works again.
+  EXPECT_EQ(drv.call(step_req(a.session, 1)).status, Status::kOk);
+  EXPECT_GT(drv.service.stats().busy_replies, 1u);
+}
+
+TEST(ServeService, LostCheckpointAnswersEvictedAndDestroys) {
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  opt.max_live = 1;
+  opt.evict_after = 1;
+  Driver drv(opt);
+  const Reply& a = drv.call(create_req("rotor", "ring 96", 4));
+  drv.call(step_req(a.session, 10));
+  const Reply& b = drv.call(create_req("rotor", "ring 96", 4));  // evicts a
+  ASSERT_EQ(b.status, Status::kOk);
+  ASSERT_EQ(drv.service.live_sessions(), 1u);
+
+  // Sabotage: the eviction file disappears (disk cleanup, tmp reaper).
+  std::remove((test_dir() + "/rr-session-" + std::to_string(a.session) +
+               ".ckpt")
+                  .c_str());
+  const Reply& rep = drv.call(step_req(a.session, 10));
+  EXPECT_EQ(rep.status, Status::kEvicted);
+  // The session is gone; further requests see an unknown session.
+  EXPECT_EQ(drv.call(step_req(a.session, 1)).status, Status::kError);
+  EXPECT_EQ(drv.service.total_sessions(), 1u);
+}
+
+TEST(ServeService, TraceSubscriptionPushesPeriodicEvents) {
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  opt.quantum = 16;
+  Driver drv(opt);
+  const Reply& created = drv.call(create_req("rotor", "ring 96", 4));
+  Request sub;
+  sub.op = Op::kSubscribeTrace;
+  sub.session = created.session;
+  sub.every = 32;
+  const std::uint64_t sub_id = drv.send(sub, /*conn=*/9);
+  ASSERT_EQ(drv.await(sub_id).status, Status::kOk);
+
+  drv.call(step_req(created.session, 128));
+  ASSERT_FALSE(drv.traces.empty());
+  std::uint64_t last = 0;
+  for (const Reply& tr : drv.traces) {
+    EXPECT_EQ(tr.status, Status::kTrace);
+    EXPECT_EQ(tr.id, sub_id);  // events carry the subscribe id
+    EXPECT_GE(tr.time, last + 32);
+    last = tr.time;
+  }
+
+  // Dropping the subscriber's connection cancels the stream.
+  const std::size_t before = drv.traces.size();
+  drv.service.drop_connection(9);
+  drv.call(step_req(created.session, 128));
+  EXPECT_EQ(drv.traces.size(), before);
+
+  // Unsubscribe via every=0 is also honored (resubscribe then cancel).
+  sub.every = 0;
+  ASSERT_EQ(drv.call(sub).status, Status::kOk);
+  drv.call(step_req(created.session, 64));
+  EXPECT_EQ(drv.traces.size(), before);
+}
+
+TEST(ServeService, MalformedPayloadAndUnknownSessionsAnswerErrors) {
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  Driver drv(opt);
+  const std::uint8_t junk[] = {0xff, 0xff, 0xff};
+  drv.service.handle(1, junk, sizeof junk, drv.out);
+  drv.drain();
+  ASSERT_TRUE(drv.replies.count(0));
+  EXPECT_EQ(drv.replies.at(0).status, Status::kError);
+
+  EXPECT_EQ(drv.call(step_req(12345, 1)).status, Status::kError);
+  EXPECT_EQ(drv.call(create_req("no-such-engine", "ring 96", 4)).status,
+            Status::kError);
+  EXPECT_EQ(drv.call(create_req("rotor", "ring", 4)).status, Status::kError);
+  EXPECT_EQ(drv.call(create_req("rotor", "ring 96", 0)).status,
+            Status::kError);
+  // ODE engine requires a ring; substrate mismatch surfaces as an error.
+  EXPECT_EQ(drv.call(create_req("ode", "torus 4 4", 2)).status,
+            Status::kError);
+}
+
+TEST(ServeService, DestroyRemovesTheSessionAndItsFile) {
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  opt.max_live = 1;
+  opt.evict_after = 1;
+  Driver drv(opt);
+  const Reply& a = drv.call(create_req("rotor", "ring 96", 4));
+  drv.call(step_req(a.session, 5));
+  const Reply& b = drv.call(create_req("rotor", "ring 96", 4));  // evicts a
+  ASSERT_EQ(b.status, Status::kOk);
+  const std::string path =
+      test_dir() + "/rr-session-" + std::to_string(a.session) + ".ckpt";
+  EXPECT_TRUE(sim::read_text_file(path).has_value());
+
+  Request destroy;
+  destroy.op = Op::kDestroy;
+  destroy.session = a.session;
+  const Reply& rep = drv.call(destroy);
+  EXPECT_EQ(rep.status, Status::kOk);
+  EXPECT_EQ(rep.time, 5u);
+  EXPECT_FALSE(sim::read_text_file(path).has_value());
+  EXPECT_EQ(drv.service.total_sessions(), 1u);
+  EXPECT_EQ(drv.call(destroy).status, Status::kError);  // already gone
+}
+
+TEST(ServeService, ShutdownAndInfoAnswer) {
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  Driver drv(opt);
+  drv.call(create_req("rotor", "ring 96", 4));
+  Request info;
+  info.op = Op::kInfo;
+  const Reply& rep = drv.call(info);
+  EXPECT_EQ(rep.status, Status::kOk);
+  EXPECT_NE(rep.message.find("sessions=1"), std::string::npos);
+  EXPECT_NE(rep.message.find("created=1"), std::string::npos);
+
+  EXPECT_FALSE(drv.service.shutdown_requested());
+  Request down;
+  down.op = Op::kShutdown;
+  EXPECT_EQ(drv.call(down).status, Status::kOk);
+  EXPECT_TRUE(drv.service.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace rr::serve

@@ -26,6 +26,7 @@ METRICS = {
     "items_per_second": "higher",
     "bytes_per_node": "lower",
     "rss_bytes": "lower",
+    "p99_seconds": "lower",
 }
 
 

@@ -131,6 +131,33 @@ class RegressionFlagging(unittest.TestCase):
             self.assertIn("REGRESSION", out)
             self.assertIn("rose", out)
 
+    def test_p99_latency_regresses_on_rise(self):
+        # bench_server publishes step-latency tails as p99_seconds; a
+        # rising tail is a regression even though throughput may hold.
+        with tempfile.TemporaryDirectory() as d:
+            prev = write_json(d, "prev.json",
+                              [entry("Server/evicting/step_latency", 0.10,
+                                     metric="p99_seconds")])
+            curr = write_json(d, "curr.json",
+                              [entry("Server/evicting/step_latency", 0.25,
+                                     metric="p99_seconds")])
+            code, out = run_main([prev, curr])
+            self.assertEqual(code, 0)
+            self.assertIn("REGRESSION", out)
+            self.assertIn("rose", out)
+
+    def test_p99_latency_is_quiet_on_drop(self):
+        with tempfile.TemporaryDirectory() as d:
+            prev = write_json(d, "prev.json",
+                              [entry("Server/evicting/step_latency", 0.25,
+                                     metric="p99_seconds")])
+            curr = write_json(d, "curr.json",
+                              [entry("Server/evicting/step_latency", 0.10,
+                                     metric="p99_seconds")])
+            code, out = run_main([prev, curr])
+            self.assertEqual(code, 0)
+            self.assertNotIn("::warning", out)
+
     def test_lower_is_better_metric_is_quiet_on_drop(self):
         with tempfile.TemporaryDirectory() as d:
             prev = write_json(d, "prev.json",
