@@ -9,6 +9,14 @@
 // behaviour), 64 (the auto default at this scale), and 512, and checks
 // every job ran exactly once. Acceptance gate: auto chunking >= 2x the
 // chunk=1 throughput on a multicore host.
+//
+// A second section times degenerate dispatches: a sweep of one job (or
+// one chunk) used to pay the full dispatch round-trip — publish the
+// batch, wake every worker, barrier on completion — for work only the
+// caller would run anyway. The pool now runs those inline, so the
+// numbers here are pure function-call rates. (Skewed sweeps at large
+// chunk sizes are the pool's other residue; work stealing covers that
+// and thread_pool_test.cpp pins it.)
 
 #include <chrono>
 #include <cstdio>
@@ -73,5 +81,28 @@ int main() {
     t.add_row({chunk_s, rate_s, speedup_s});
   }
   t.print();
+
+  // Degenerate dispatches: 1 job, and a job count that fits one chunk.
+  // Both take the inline fast path (no worker wake, no barrier), so the
+  // dispatch rate should sit near a plain loop's call rate rather than a
+  // condvar round-trip's.
+  const std::uint64_t reps = rr::sim::scaled(1ULL << 16, 1024);
+  rr::analysis::Table t2({"shape", "dispatches/s"});
+  for (const auto& [label, tiny_jobs, tiny_chunk] :
+       {std::tuple{"1 job (inline)", 1ULL, 0ULL},
+        std::tuple{"64 jobs, chunk 64 (inline)", 64ULL, 64ULL}}) {
+    const std::uint64_t n = tiny_jobs;
+    const std::uint64_t c = tiny_chunk;
+    const double s = seconds_of([&] {
+      for (std::uint64_t r = 0; r < reps; ++r) {
+        runner.for_each(n, payload, c);
+      }
+    });
+    char rate_s[32];
+    std::snprintf(rate_s, sizeof rate_s, "%.2e",
+                  static_cast<double>(reps) / s);
+    t2.add_row({label, rate_s});
+  }
+  t2.print();
   return 0;
 }

@@ -3,9 +3,12 @@
 //   rr_serverd serve --socket /tmp/rr.sock [--max-sessions N]
 //             [--max-live N] [--quantum N] [--evict-after N]
 //             [--ckpt-dir DIR] [--checkpoint-every N] [--threads N]
+//             [--policy fifo|qos] [--quantum-interactive N]
+//             [--quantum-batch N] [--quantum-background N]
+//             [--pump-rounds N] [--max-queued-steps N]
 //   rr_serverd drive --socket /tmp/rr.sock --sessions N --rounds R
 //             [--engine NAME] [--graph DESC] [--k K] [--seed S]
-//             [--shutdown]
+//             [--qos interactive|batch|background] [--shutdown]
 //
 // `serve` hosts a serve::SessionService (src/serve/service.hpp) behind a
 // single-threaded poll() loop on an AF_UNIX socket: one FrameDecoder and
@@ -61,6 +64,11 @@ struct Flags {
   std::string ckpt_dir = "/tmp";
   std::uint64_t checkpoint_every = 0;
   std::uint64_t threads = 1;
+  std::string policy = "qos";
+  std::uint64_t quantum_batch = 512;
+  std::uint64_t quantum_background = 256;
+  std::uint64_t pump_rounds = 0;
+  std::uint64_t max_queued_steps = 16;
   // drive
   std::uint64_t sessions = 4;
   std::uint64_t rounds = 256;
@@ -68,6 +76,7 @@ struct Flags {
   std::string graph = "ring 1024";
   std::uint64_t k = 4;
   std::uint64_t seed = 1;
+  std::string qos = "interactive";
   bool shutdown = false;
 };
 
@@ -77,9 +86,12 @@ int usage() {
       "usage: rr_serverd <serve|drive> [flags]\n"
       "  serve: --socket PATH --max-sessions N --max-live N --quantum N\n"
       "         --evict-after N --ckpt-dir DIR --checkpoint-every N\n"
-      "         --threads N\n"
+      "         --threads N --policy fifo|qos --quantum-interactive N\n"
+      "         --quantum-batch N --quantum-background N --pump-rounds N\n"
+      "         --max-queued-steps N\n"
       "  drive: --socket PATH --sessions N --rounds R --engine NAME\n"
-      "         --graph DESC --k K --seed S [--shutdown]\n");
+      "         --graph DESC --k K --seed S\n"
+      "         --qos interactive|batch|background [--shutdown]\n");
   return 2;
 }
 
@@ -92,11 +104,20 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       {"--ckpt-dir", &f.ckpt_dir},
       {"--engine", &f.engine},
       {"--graph", &f.graph},
+      {"--policy", &f.policy},
+      {"--qos", &f.qos},
   };
   std::unordered_map<std::string, std::uint64_t*> nums = {
       {"--max-sessions", &f.max_sessions},
       {"--max-live", &f.max_live},
       {"--quantum", &f.quantum},
+      // --quantum names the interactive grant; the explicit spelling
+      // reads better next to the per-class caps.
+      {"--quantum-interactive", &f.quantum},
+      {"--quantum-batch", &f.quantum_batch},
+      {"--quantum-background", &f.quantum_background},
+      {"--pump-rounds", &f.pump_rounds},
+      {"--max-queued-steps", &f.max_queued_steps},
       {"--evict-after", &f.evict_after},
       {"--checkpoint-every", &f.checkpoint_every},
       {"--threads", &f.threads},
@@ -127,6 +148,21 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
     } else if (!rr::parse_flag_u64("rr_serverd", a.c_str(), v, *n->second)) {
       return false;
     }
+  }
+  // Enumerated string flags fail as loudly as the numeric ones: a typo'd
+  // policy or class must abort the command, not silently run a different
+  // scheduler.
+  if (f.policy != "fifo" && f.policy != "qos") {
+    std::fprintf(stderr, "rr_serverd: --policy must be 'fifo' or 'qos' "
+                         "(got '%s')\n",
+                 f.policy.c_str());
+    return false;
+  }
+  if (!rr::serve::qos_class_from_name(f.qos)) {
+    std::fprintf(stderr, "rr_serverd: --qos must be one of interactive, "
+                         "batch, background (got '%s')\n",
+                 f.qos.c_str());
+    return false;
   }
   return true;
 }
@@ -200,6 +236,12 @@ int cmd_serve(const Flags& f) {
   opt.max_live = f.max_live;
   opt.quantum = f.quantum;
   opt.evict_after = f.evict_after;
+  opt.policy = f.policy == "fifo" ? rr::serve::SchedPolicy::kFifo
+                                  : rr::serve::SchedPolicy::kQos;
+  opt.quantum_batch = f.quantum_batch;
+  opt.quantum_background = f.quantum_background;
+  opt.pump_rounds = f.pump_rounds;
+  opt.max_queued_steps = f.max_queued_steps;
   opt.auto_checkpoint_every = f.checkpoint_every;
   opt.ckpt_dir = f.ckpt_dir;
   opt.pool = &pool;
@@ -330,6 +372,9 @@ int cmd_drive(const Flags& f) {
     return 1;
   }
 
+  // parse_flags already validated the class name.
+  const rr::serve::QosClass qos = *rr::serve::qos_class_from_name(f.qos);
+
   std::uint64_t next_id = 1;
   std::vector<std::uint64_t> sessions;
   sessions.reserve(f.sessions);
@@ -341,6 +386,7 @@ int cmd_drive(const Flags& f) {
     req.graph = f.graph;
     req.k = f.k;
     req.seed = f.seed;
+    req.qos = qos;
     for (int attempt = 0; attempt < 1000; ++attempt) {
       const auto rep = client.call(req);
       if (!rep) {

@@ -37,6 +37,25 @@ bool valid_status(std::uint8_t s) {
 
 }  // namespace
 
+const char* qos_class_name(QosClass c) {
+  switch (c) {
+    case QosClass::kInteractive:
+      return "interactive";
+    case QosClass::kBatch:
+      return "batch";
+    case QosClass::kBackground:
+      return "background";
+  }
+  return "?";
+}
+
+std::optional<QosClass> qos_class_from_name(std::string_view name) {
+  if (name == "interactive") return QosClass::kInteractive;
+  if (name == "batch") return QosClass::kBatch;
+  if (name == "background") return QosClass::kBackground;
+  return std::nullopt;
+}
+
 std::string encode_frame(const std::string& payload) {
   std::string out;
   out.reserve(payload.size() + 8);
@@ -60,6 +79,7 @@ std::string encode_request(const Request& req) {
   put_varint(out, req.rounds);
   put_varint(out, req.every);
   put_string(out, req.blob);
+  put_varint(out, static_cast<std::uint64_t>(req.qos));
   return out;
 }
 
@@ -114,7 +134,13 @@ std::optional<Request> decode_request(const std::uint8_t* data,
   req.rounds = *rounds;
   req.every = *every;
   if (!get_string(data, size, &pos, req.blob)) return std::nullopt;
-  if (pos != size) return std::nullopt;  // trailing bytes -> malformed
+  // Optional trailing qos class: a pre-QoS payload ends at the blob and
+  // defaults to interactive; a payload that carries the field must spell
+  // a valid class and end with it.
+  if (pos == size) return req;
+  const auto qos = get_varint(data, size, &pos);
+  if (!qos || *qos >= kNumQosClasses || pos != size) return std::nullopt;
+  req.qos = static_cast<QosClass>(*qos);
   return req;
 }
 

@@ -27,11 +27,17 @@
 //     varint agent_count, agent_count x varint   (explicit placement;
 //                                                 0 -> server spreads
 //                                                 i*n/k like rr_cli)
-//     varint session | varint rounds | varint every | str blob
+//     varint session | varint rounds | varint every | str blob |
+//     [varint qos]
 //
 // Every request carries the full field block (unused fields encode as
 // 0/empty — a fixed shape keeps the decoder total and the fuzz lane
-// simple); the opcode says which fields matter. Reply payload:
+// simple); the opcode says which fields matter. The trailing qos class
+// is the one optional field: pre-QoS clients end their payload at the
+// blob, and the decoder defaults them to interactive — new fields extend
+// the tail, never reshape the prefix. When present, qos must be a valid
+// class *and* the final field (anything after it is still malformed).
+// Reply payload:
 //
 //   varint request_id | u8 status | varint session | varint time |
 //   varint covered | varint nodes | varint agents | varint config_hash |
@@ -42,9 +48,11 @@
 // server-pushed replies with status kTrace and the id of the
 // subscribe-trace request that armed them.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rr::serve {
@@ -64,6 +72,23 @@ enum class Op : std::uint8_t {
   kInfo = 8,            ///< server stats in reply message
   kShutdown = 9,        ///< ask the daemon to exit cleanly
 };
+
+/// Per-session scheduling class, carried on kCreate/kResume. Lower value
+/// = higher priority; the numeric values are wire format and index the
+/// service's per-class stats, so they must not be reordered.
+enum class QosClass : std::uint8_t {
+  kInteractive = 0,  ///< small steps, latency-sensitive; preempts at quanta
+  kBatch = 1,        ///< throughput work; larger adaptive quanta
+  kBackground = 2,   ///< best-effort; first pick under eviction pressure
+};
+
+inline constexpr std::size_t kNumQosClasses = 3;
+
+/// "interactive" / "batch" / "background".
+const char* qos_class_name(QosClass c);
+
+/// Inverse of qos_class_name; nullopt for anything else.
+std::optional<QosClass> qos_class_from_name(std::string_view name);
 
 enum class Status : std::uint8_t {
   kOk = 0,
@@ -85,6 +110,7 @@ struct Request {
   std::uint64_t rounds = 0;
   std::uint64_t every = 0;  ///< auto-checkpoint / trace period
   std::string blob;         ///< checkpoint document (kResume)
+  QosClass qos = QosClass::kInteractive;  ///< scheduling class (kCreate/kResume)
 };
 
 struct Reply {

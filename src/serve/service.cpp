@@ -23,12 +23,29 @@ Reply error_reply(std::uint64_t req_id, const char* message,
   return rep;
 }
 
+// Batch : background share of the leftover pump budget.
+constexpr std::uint64_t kClassWeight[kNumQosClasses] = {0, 4, 1};
+
+// Unused credit carries across pumps (a class briefly displaced by an
+// interactive burst catches up) but is bounded so an idle class cannot
+// hoard an unbounded backlog entitlement.
+constexpr std::uint64_t kCreditCapBudgets = 4;
+
+constexpr std::size_t qos_index(QosClass c) {
+  return static_cast<std::size_t>(c);
+}
+
 }  // namespace
 
 SessionService::SessionService(ServiceOptions opt) : opt_(std::move(opt)) {
   if (opt_.quantum == 0) opt_.quantum = 1;
   if (opt_.max_live == 0) opt_.max_live = 1;
   if (opt_.max_sessions < opt_.max_live) opt_.max_sessions = opt_.max_live;
+  if (opt_.max_queued_steps == 0) opt_.max_queued_steps = 1;
+  // Adaptive quanta are *larger* grants for throughput classes; below the
+  // interactive quantum they would only add scheduling overhead.
+  opt_.quantum_batch = std::max(opt_.quantum_batch, opt_.quantum);
+  opt_.quantum_background = std::max(opt_.quantum_background, opt_.quantum);
 }
 
 SessionService::~SessionService() {
@@ -97,6 +114,7 @@ bool SessionService::evict(Session& s) {
   s.idle_pumps = 0;
   --live_;
   ++stats_.evictions;
+  ++stats_.qos[qos_index(s.qos)].evictions;
   return true;
 }
 
@@ -109,14 +127,28 @@ bool SessionService::rehydrate(Session& s) {
   refresh_summary(s);
   ++live_;
   ++stats_.rehydrations;
+  ++stats_.qos[qos_index(s.qos)].rehydrations;
   return true;
 }
 
 bool SessionService::pressure_evict() {
+  // Deterministic victim order: background class first (lowest priority),
+  // then longest-idle, then smallest id.
+  std::vector<Session*> candidates;
   for (auto& [id, s] : sessions_) {
-    if (s.engine && !s.step_active && s.pending_rounds == 0) {
-      if (evict(s)) return true;
+    if (s.engine && s.step_waiters.empty() && s.pending_rounds == 0) {
+      candidates.push_back(&s);
     }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Session* a, const Session* b) {
+              if (a->qos != b->qos) return a->qos > b->qos;
+              if (a->idle_pumps != b->idle_pumps)
+                return a->idle_pumps > b->idle_pumps;
+              return a->id < b->id;
+            });
+  for (Session* s : candidates) {
+    if (evict(*s)) return true;
   }
   return false;
 }
@@ -126,7 +158,7 @@ void SessionService::destroy(std::uint64_t id) {
   if (it == sessions_.end()) return;
   if (it->second.engine) --live_;
   std::remove(evict_path(id).c_str());
-  sessions_.erase(it);
+  sessions_.erase(it);  // stale ready_/waiting_ entries are skipped later
   ++stats_.destroyed;
 }
 
@@ -139,11 +171,100 @@ void SessionService::drop_connection(std::uint64_t conn) {
 }
 
 bool SessionService::has_pending_work() const {
-  if (!waiting_.empty()) return true;
+  for (const auto& q : waiting_) {
+    if (!q.empty()) return true;
+  }
   for (const auto& [id, s] : sessions_) {
     if (s.engine && s.pending_rounds > 0) return true;
   }
   return false;
+}
+
+void SessionService::enqueue_ready(Session& s) {
+  if (s.ready_queued || !s.engine || s.pending_rounds == 0) return;
+  s.ready_queued = true;
+  ready_[qos_index(s.qos)].push_back(s.id);
+}
+
+SessionService::Session* SessionService::pop_ready(std::size_t c) {
+  auto& q = ready_[c];
+  while (!q.empty()) {
+    const std::uint64_t id = q.front();
+    q.pop_front();
+    Session* s = find_session(id);
+    if (!s || !s->ready_queued) continue;  // destroyed while queued
+    s->ready_queued = false;
+    if (!s->engine || s->pending_rounds == 0) continue;
+    return s;
+  }
+  return nullptr;
+}
+
+std::uint64_t SessionService::pump_budget() const {
+  return opt_.pump_rounds != 0 ? opt_.pump_rounds : 16 * opt_.quantum;
+}
+
+void SessionService::schedule(std::vector<Grant> (&grants)[kNumQosClasses]) {
+  if (opt_.policy == SchedPolicy::kFifo) {
+    // Baseline scheduler: every runnable session, one fixed quantum, no
+    // budget — a saturating batch session head-of-line-blocks everything
+    // pumped behind it (this is exactly what the QoS lane measures).
+    for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+      while (Session* s = pop_ready(c)) {
+        grants[c].push_back(
+            Grant{s, std::min(s->pending_rounds, opt_.quantum)});
+      }
+    }
+    return;
+  }
+
+  // Interactive: granted on every pump they are runnable — strict
+  // priority, not budgeted. The pump's wall time is bounded by the
+  // interactive population times one quantum plus the budget below.
+  std::uint64_t interactive_used = 0;
+  while (Session* s = pop_ready(qos_index(QosClass::kInteractive))) {
+    const std::uint64_t q = std::min(s->pending_rounds, opt_.quantum);
+    grants[qos_index(QosClass::kInteractive)].push_back(Grant{s, q});
+    interactive_used += q;
+  }
+
+  // Batch + background split what the interactive grants left of the
+  // budget, 4:1 by accruing credit, spending it in adaptive quanta
+  // (larger than interactive — throughput work shouldn't be chopped into
+  // latency-sized pieces). Credit carries across pumps, bounded; a class
+  // with nothing runnable forfeits its credit (deficit-round-robin rule:
+  // only backlogged classes accumulate).
+  const std::uint64_t budget = pump_budget();
+  const std::uint64_t spare =
+      budget > interactive_used ? budget - interactive_used : 0;
+  std::uint64_t weight_sum = 0;
+  for (std::size_t c = 1; c < kNumQosClasses; ++c) {
+    if (!ready_[c].empty()) weight_sum += kClassWeight[c];
+  }
+  for (std::size_t c = 1; c < kNumQosClasses; ++c) {
+    if (ready_[c].empty()) {
+      credit_[c] = 0;
+      continue;
+    }
+    credit_[c] = std::min(credit_[c] + spare * kClassWeight[c] / weight_sum,
+                          kCreditCapBudgets * budget);
+    const std::uint64_t cap = c == qos_index(QosClass::kBatch)
+                                  ? opt_.quantum_batch
+                                  : opt_.quantum_background;
+    // One pass over the class queue per pump: each popped session gets
+    // min(backlog, adaptive cap, remaining credit); sessions the credit
+    // cannot reach stay queued (their wait is the wait_pumps counter).
+    std::size_t passes = ready_[c].size() + 1;
+    while (credit_[c] > 0 && passes-- > 0) {
+      Session* s = pop_ready(c);
+      if (!s) break;
+      const std::uint64_t q =
+          std::min({s->pending_rounds, cap, credit_[c]});
+      grants[c].push_back(Grant{s, q});
+      credit_[c] -= q;
+    }
+    stats_.qos[c].wait_pumps += ready_[c].size();
+  }
 }
 
 void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
@@ -159,12 +280,14 @@ void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
     case Op::kResume: {
       if (sessions_.size() >= opt_.max_sessions) {
         ++stats_.busy_replies;
+        ++stats_.qos[qos_index(req->qos)].busy_replies;
         emit(out, conn,
              error_reply(req->id, "session table full", Status::kBusy));
         return;
       }
       if (live_ >= opt_.max_live && !pressure_evict()) {
         ++stats_.busy_replies;
+        ++stats_.qos[qos_index(req->qos)].busy_replies;
         emit(out, conn,
              error_reply(req->id, "no live slot free", Status::kBusy));
         return;
@@ -230,6 +353,7 @@ void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
         s.descriptor = parsed->graph_descriptor;
       }
       s.id = next_id_++;
+      s.qos = req->qos;
       s.engine_name = s.engine->engine_name();
       s.ckpt_every =
           req->every != 0 ? req->every : opt_.auto_checkpoint_every;
@@ -249,28 +373,44 @@ void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
         emit(out, conn, error_reply(req->id, "unknown session"));
         return;
       }
-      if (s->step_active) {
+      const std::size_t cls = qos_index(s->qos);
+      if (s->step_waiters.size() >= opt_.max_queued_steps) {
         ++stats_.busy_replies;
+        ++stats_.qos[cls].busy_replies;
         emit(out, conn,
-             error_reply(req->id, "step already in flight", Status::kBusy));
+             error_reply(req->id, "step queue full", Status::kBusy));
         return;
       }
       ++stats_.step_requests;
+      ++stats_.qos[cls].step_requests;
       if (req->rounds == 0) {
         if (s->engine) refresh_summary(*s);
         emit(out, conn, summary_reply(*s, req->id));
         return;
       }
-      s->step_active = true;
-      s->pending_rounds = req->rounds;
-      s->step_req_id = req->id;
-      s->step_conn = conn;
-      s->idle_pumps = 0;
-      if (!s->engine && !s->waiting) {
-        s->waiting = true;
-        waiting_.push_back(s->id);
+      // Coalescing: this request's target extends the previous one (or
+      // the engine clock when the queue is idle); the scheduler runs the
+      // session toward the last target in whatever quanta it grants and
+      // each reply fires as its own target is crossed.
+      if (s->engine && s->step_waiters.empty()) refresh_summary(*s);
+      const std::uint64_t from =
+          s->step_waiters.empty() ? s->time : s->step_waiters.back().target_time;
+      if (from + req->rounds < from) {  // would wrap the round clock
+        emit(out, conn,
+             error_reply(req->id, "rounds overflow the session clock"));
+        return;
       }
-      return;  // reply comes from the pump that drains the last round
+      s->step_waiters.push_back(StepWaiter{req->id, conn, from + req->rounds});
+      s->pending_rounds += req->rounds;
+      s->idle_pumps = 0;
+      if (s->engine) {
+        enqueue_ready(*s);
+      } else if (!s->waiting) {
+        s->waiting = true;
+        waiting_[cls].push_back(s->id);
+        ++stats_.qos[cls].rehydrations_deferred;
+      }
+      return;  // replies come from the pumps that cross the targets
     }
 
     case Op::kObserve: {
@@ -290,8 +430,9 @@ void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
         emit(out, conn, error_reply(req->id, "unknown session"));
         return;
       }
-      if (s->step_active) {
+      if (!s->step_waiters.empty()) {
         ++stats_.busy_replies;
+        ++stats_.qos[qos_index(s->qos)].busy_replies;
         emit(out, conn,
              error_reply(req->id, "step in flight", Status::kBusy));
         return;
@@ -367,6 +508,22 @@ void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
                     static_cast<unsigned long long>(stats_.step_requests),
                     static_cast<unsigned long long>(stats_.rounds_stepped));
       rep.message = buf;
+      for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+        const QosClassStats& q = stats_.qos[c];
+        std::snprintf(
+            buf, sizeof buf,
+            " qos[%s]={steps=%llu rounds=%llu waits=%llu busy=%llu "
+            "evictions=%llu rehydrations=%llu deferred=%llu}",
+            qos_class_name(static_cast<QosClass>(c)),
+            static_cast<unsigned long long>(q.step_requests),
+            static_cast<unsigned long long>(q.rounds_scheduled),
+            static_cast<unsigned long long>(q.wait_pumps),
+            static_cast<unsigned long long>(q.busy_replies),
+            static_cast<unsigned long long>(q.evictions),
+            static_cast<unsigned long long>(q.rehydrations),
+            static_cast<unsigned long long>(q.rehydrations_deferred));
+        rep.message += buf;
+      }
       emit(out, conn, rep);
       return;
     }
@@ -386,68 +543,95 @@ void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
 bool SessionService::pump(std::vector<Outgoing>& out) {
   bool progress = false;
 
-  // Phase 1: rehydrate waiters FIFO while live slots are (or can be
-  // made) available. A waiter whose checkpoint cannot be read has lost
-  // its state: kEvicted to the requester, session destroyed.
-  while (!waiting_.empty()) {
-    if (live_ >= opt_.max_live && !pressure_evict()) break;
-    const std::uint64_t id = waiting_.front();
-    waiting_.pop_front();
-    Session* s = find_session(id);
-    if (!s || !s->waiting) continue;  // destroyed while queued
-    s->waiting = false;
-    if (rehydrate(*s)) {
-      progress = true;
-    } else {
-      ++stats_.evicted_replies;
-      if (s->step_active) {
-        emit(out, s->step_conn,
-             error_reply(s->step_req_id, "session state lost",
-                         Status::kEvicted));
+  // Phase 1: rehydrate waiters while live slots are (or can be made)
+  // available — interactive waiters first, then batch, then background
+  // (eviction pressure is the mirror image: background victims first).
+  // A waiter whose checkpoint cannot be read has lost its state:
+  // kEvicted to every queued requester, session destroyed.
+  bool table_full = false;
+  for (std::size_t c = 0; c < kNumQosClasses && !table_full; ++c) {
+    auto& wq = waiting_[c];
+    while (!wq.empty()) {
+      if (live_ >= opt_.max_live && !pressure_evict()) {
+        table_full = true;
+        break;
       }
-      destroy(id);
+      const std::uint64_t id = wq.front();
+      wq.pop_front();
+      Session* s = find_session(id);
+      if (!s || !s->waiting) continue;  // destroyed while queued
+      s->waiting = false;
+      if (rehydrate(*s)) {
+        progress = true;
+        enqueue_ready(*s);
+      } else {
+        ++stats_.evicted_replies;
+        for (const StepWaiter& w : s->step_waiters) {
+          emit(out, w.conn,
+               error_reply(w.req_id, "session state lost", Status::kEvicted));
+        }
+        destroy(id);
+      }
     }
   }
 
-  // Phase 2: one quantum for every runnable session — a single for_each
-  // on the shared pool (this thread is the pool's one dispatcher; the
-  // engines themselves never dispatch from inside a job, and nested
-  // for_each would run inline anyway).
-  std::vector<Session*> runnable;
-  for (auto& [id, s] : sessions_) {
-    if (s.engine && s.pending_rounds > 0) runnable.push_back(&s);
+  // Phase 2: the scheduling policy turns the per-class ready queues into
+  // grants, dispatched as one multi-lane batch on the shared pool —
+  // lane 0 (interactive) is claimed ahead of the throughput lanes, so
+  // priority holds inside the fork-join too. This thread is the pool's
+  // one dispatcher; the engines themselves never dispatch from inside a
+  // job, and nested for_each would run inline anyway.
+  std::vector<Grant> grants[kNumQosClasses];
+  schedule(grants);
+  std::size_t total_grants = 0;
+  for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+    total_grants += grants[c].size();
+    for (const Grant& g : grants[c]) {
+      stats_.rounds_stepped += g.rounds;
+      stats_.qos[c].rounds_scheduled += g.rounds;
+    }
   }
-  if (!runnable.empty()) {
+  if (total_grants > 0) {
     progress = true;
-    std::uint64_t total = 0;
-    for (Session* s : runnable) {
-      total += std::min(s->pending_rounds, opt_.quantum);
-    }
-    stats_.rounds_stepped += total;
-    const auto step_one = [&](std::uint64_t i) {
-      Session* s = runnable[i];
-      const std::uint64_t rounds = std::min(s->pending_rounds, opt_.quantum);
-      s->engine->run(rounds);
-      s->pending_rounds -= rounds;
+    const auto run_grant = [&](std::size_t lane, std::uint64_t i) {
+      const Grant& g = grants[lane][i];
+      g.s->engine->run(g.rounds);
+      g.s->pending_rounds -= g.rounds;
     };
-    if (opt_.pool != nullptr && runnable.size() > 1 &&
+    if (opt_.pool != nullptr && total_grants > 1 &&
         opt_.pool->num_threads() > 1) {
-      opt_.pool->for_each(runnable.size(), step_one, 1);
-    } else {
-      for (std::uint64_t i = 0; i < runnable.size(); ++i) step_one(i);
-    }
-    // Phase 3 (same pass): finished step replies and due trace events.
-    for (Session* s : runnable) {
-      refresh_summary(*s);
-      if (s->trace_every != 0 && s->time >= s->trace_next) {
-        emit(out, s->trace_conn,
-             summary_reply(*s, s->trace_req_id, Status::kTrace));
-        while (s->trace_next <= s->time) s->trace_next += s->trace_every;
+      std::vector<sim::ThreadPool::LaneSpec> lanes(kNumQosClasses);
+      for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+        lanes[c] = sim::ThreadPool::LaneSpec{grants[c].size(), 1};
       }
-      if (s->step_active && s->pending_rounds == 0) {
-        s->step_active = false;
-        s->idle_pumps = 0;
-        emit(out, s->step_conn, summary_reply(*s, s->step_req_id));
+      opt_.pool->for_each_lanes(lanes, run_grant);
+    } else {
+      for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+        for (std::uint64_t i = 0; i < grants[c].size(); ++i) run_grant(c, i);
+      }
+    }
+    // Phase 3 (same pass): crossed step replies, due trace events, and
+    // re-queueing of sessions that still have backlog.
+    for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+      for (const Grant& g : grants[c]) {
+        Session* s = g.s;
+        refresh_summary(*s);
+        if (s->trace_every != 0 && s->time >= s->trace_next) {
+          emit(out, s->trace_conn,
+               summary_reply(*s, s->trace_req_id, Status::kTrace));
+          while (s->trace_next <= s->time) s->trace_next += s->trace_every;
+        }
+        while (!s->step_waiters.empty() &&
+               s->step_waiters.front().target_time <= s->time) {
+          const StepWaiter w = s->step_waiters.front();
+          s->step_waiters.pop_front();
+          emit(out, w.conn, summary_reply(*s, w.req_id));
+        }
+        if (s->pending_rounds > 0) {
+          enqueue_ready(*s);
+        } else {
+          s->idle_pumps = 0;
+        }
       }
     }
   }
@@ -458,7 +642,9 @@ bool SessionService::pump(std::vector<Outgoing>& out) {
   if (opt_.evict_after != 0) {
     std::vector<std::uint64_t> to_evict;
     for (auto& [id, s] : sessions_) {
-      if (!s.engine || s.step_active || s.pending_rounds > 0) continue;
+      if (!s.engine || !s.step_waiters.empty() || s.pending_rounds > 0) {
+        continue;
+      }
       if (++s.idle_pumps >= opt_.evict_after) to_evict.push_back(id);
     }
     for (std::uint64_t id : to_evict) {

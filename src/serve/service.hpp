@@ -14,11 +14,36 @@
 //
 // Scheduling. Step requests do not run inline: handle() only queues
 // rounds, and pump() — called by the transport between poll iterations —
-// advances every runnable session by one bounded *quantum* of rounds.
-// Sessions therefore interleave fairly (a 10^9-round request cannot
-// starve the table) and the reply for a step request is emitted by the
-// pump that drains its last round. When a shared sim::ThreadPool is
-// given, one pump steps all runnable sessions in a single for_each —
+// grants runnable sessions bounded *quanta* of rounds. Each session
+// carries a QoS class (interactive / batch / background, from the create
+// request; pre-QoS clients default to interactive) and the scheduler is
+// credit-based weighted round-robin across the classes:
+//
+//   * interactive sessions are granted a quantum on *every* pump they
+//     are runnable — they preempt at quantum boundaries and never wait
+//     on batch work;
+//   * batch and background sessions share the remaining per-pump round
+//     budget (`pump_rounds`) in a 4:1 weight ratio, carrying unused
+//     credit forward (bounded), with adaptive larger quanta
+//     (`quantum_batch` / `quantum_background`) so throughput work isn't
+//     chopped into latency-sized pieces;
+//   * queued step requests on one session coalesce: the session runs
+//     toward the *latest* requested target in whatever quanta the
+//     scheduler grants, and each request's reply is emitted by the pump
+//     that crosses its target (the continuous-batching analogue — many
+//     requests, one stream of quanta).
+//
+// `policy` = kFifo disables all of that and grants every runnable
+// session one fixed quantum per pump (the pre-QoS scheduler, kept as the
+// measurable baseline for bench_server's mixed-QoS lane).
+//
+// Whatever the policy, scheduling changes only the *order and latency*
+// of rounds, never their result: a session's trajectory is a pure
+// function of its config, so served runs stay bit-identical to rr_cli
+// runs under every policy (the differential tests pin this).
+//
+// When a shared sim::ThreadPool is given, one pump steps all granted
+// sessions in a single multi-lane dispatch (interactive lane first);
 // pump() must be called from one thread only (the pool's
 // single-dispatcher contract; the daemon's poll loop is exactly that
 // thread).
@@ -30,17 +55,20 @@
 // atomically saved under ckpt_dir, the engine freed. Evicted sessions
 // still answer observe (cached summary) and snapshot (the file bytes);
 // a step request on one queues it for *rehydration* — pump restores
-// evicted waiters FIFO as live slots free up, pressure-evicting finished
-// idle sessions when the table is saturated. This is what bounds RSS at
-// 10k concurrent sessions (bench_server measures it).
+// evicted waiters as live slots free up (interactive waiters first),
+// pressure-evicting finished idle sessions when the table is saturated,
+// preferring background victims. This is what bounds RSS at 10k
+// concurrent sessions (bench_server measures it).
 //
 // Admission. The table is bounded (`max_sessions`): create/resume beyond
-// it answer kBusy and the client retries. A step on a session that is
-// already stepping is also kBusy (one in-flight step per session keeps
-// the reply matching unambiguous). kEvicted is reserved for sessions
-// whose state is actually lost (checkpoint unreadable on rehydration) —
-// the session is destroyed and the client must recreate it.
+// it answer kBusy and the client retries. A session accepts up to
+// `max_queued_steps` concurrent step requests (they coalesce, see
+// above); beyond that the step answers kBusy. kEvicted is reserved for
+// sessions whose state is actually lost (checkpoint unreadable on
+// rehydration) — the session is destroyed and the client must recreate
+// it.
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -58,16 +86,42 @@ class ThreadPool;
 
 namespace rr::serve {
 
+/// Pump scheduling policy. kFifo = every runnable session gets one fixed
+/// quantum per pump (pre-QoS behavior, the bench baseline); kQos = the
+/// credit-based weighted scheduler described above.
+enum class SchedPolicy : std::uint8_t { kFifo = 0, kQos = 1 };
+
 struct ServiceOptions {
   std::uint64_t max_sessions = 4096;  ///< session-table bound (admission)
   std::uint64_t max_live = 256;       ///< resident engines (residency)
-  std::uint64_t quantum = 64;         ///< rounds per session per pump
+  std::uint64_t quantum = 64;         ///< interactive rounds per grant
   std::uint64_t evict_after = 16;     ///< idle pumps before eviction
+  SchedPolicy policy = SchedPolicy::kQos;
+  /// Adaptive quantum caps for throughput classes (clamped up to
+  /// `quantum` if set lower).
+  std::uint64_t quantum_batch = 512;
+  std::uint64_t quantum_background = 256;
+  /// Per-pump round budget shared by batch+background after interactive
+  /// grants are taken out (0 = 16 * quantum).
+  std::uint64_t pump_rounds = 0;
+  /// Concurrent (coalescing) step requests per session before kBusy.
+  std::uint64_t max_queued_steps = 16;
   /// Default auto-checkpoint period for sessions created with every == 0
   /// (0 = auto-checkpointing off unless the create request asks).
   std::uint64_t auto_checkpoint_every = 0;
   std::string ckpt_dir = "/tmp";  ///< eviction / auto-checkpoint files
   sim::ThreadPool* pool = nullptr;  ///< shared pool (stepping + ckpt codec)
+};
+
+/// Per-QoS-class counters (indexed by QosClass value; kInfo prints them).
+struct QosClassStats {
+  std::uint64_t step_requests = 0;
+  std::uint64_t rounds_scheduled = 0;  ///< rounds granted by the scheduler
+  std::uint64_t wait_pumps = 0;  ///< runnable-but-not-granted session-pumps
+  std::uint64_t busy_replies = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rehydrations = 0;
+  std::uint64_t rehydrations_deferred = 0;  ///< step queued on evicted session
 };
 
 struct ServiceStats {
@@ -79,6 +133,7 @@ struct ServiceStats {
   std::uint64_t evicted_replies = 0;
   std::uint64_t step_requests = 0;
   std::uint64_t rounds_stepped = 0;
+  QosClassStats qos[kNumQosClasses];
 };
 
 class SessionService {
@@ -104,11 +159,12 @@ class SessionService {
   void handle(std::uint64_t conn, const std::uint8_t* payload,
               std::size_t size, std::vector<Outgoing>& out);
 
-  /// One scheduler tick: rehydrates waiters into free live slots, steps
-  /// every runnable session one quantum (on the shared pool when given),
-  /// emits finished step replies and due trace events, and evicts
-  /// sessions idle past the threshold. Returns true if any session made
-  /// progress. Single-dispatcher: call from one thread only.
+  /// One scheduler tick: rehydrates waiters into free live slots, grants
+  /// quanta per the scheduling policy (one multi-lane dispatch on the
+  /// shared pool when given), emits crossed step replies and due trace
+  /// events, and evicts sessions idle past the threshold. Returns true
+  /// if any session made progress. Single-dispatcher: call from one
+  /// thread only.
   bool pump(std::vector<Outgoing>& out);
 
   /// True if a pump would do real work now (queued rounds or waiting
@@ -129,8 +185,17 @@ class SessionService {
   const ServiceStats& stats() const { return stats_; }
 
  private:
+  /// One queued step request; replies are matched to targets on the
+  /// session's own round clock (coalescing keeps them ordered).
+  struct StepWaiter {
+    std::uint64_t req_id = 0;
+    std::uint64_t conn = 0;
+    std::uint64_t target_time = 0;  ///< reply when session time reaches this
+  };
+
   struct Session {
     std::uint64_t id = 0;
+    QosClass qos = QosClass::kInteractive;
     std::string engine_name;  ///< Engine::engine_name() (registry key)
     std::string descriptor;   ///< graph descriptor text
     std::unique_ptr<sim::Engine> engine;  ///< null while evicted
@@ -142,12 +207,12 @@ class SessionService {
     std::uint64_t agents = 0;
     std::uint64_t config_hash = 0;
     std::uint64_t ckpt_every = 0;  ///< auto-checkpoint period (0 = off)
-    // In-flight step request (at most one per session).
-    bool step_active = false;
+    // Coalesced step requests: pending_rounds is the distance from the
+    // engine clock to the *last* waiter's target.
+    std::deque<StepWaiter> step_waiters;
     std::uint64_t pending_rounds = 0;
-    std::uint64_t step_req_id = 0;
-    std::uint64_t step_conn = 0;
-    bool waiting = false;  ///< queued in waiting_ for rehydration
+    bool ready_queued = false;  ///< queued in ready_[qos] for scheduling
+    bool waiting = false;       ///< queued in waiting_[qos] for rehydration
     // Trace subscription: one kTrace push per pump once time passes
     // trace_next, id echoing the subscribe request.
     std::uint64_t trace_every = 0;
@@ -155,6 +220,12 @@ class SessionService {
     std::uint64_t trace_req_id = 0;
     std::uint64_t trace_conn = 0;
     std::uint64_t idle_pumps = 0;
+  };
+
+  /// A scheduling decision of one pump: session + rounds granted.
+  struct Grant {
+    Session* s = nullptr;
+    std::uint64_t rounds = 0;
   };
 
   std::string evict_path(std::uint64_t id) const;
@@ -168,16 +239,33 @@ class SessionService {
   bool evict(Session& s);
   /// Restores the engine from the eviction file; false = state lost.
   bool rehydrate(Session& s);
-  /// Frees a live slot for a waiter by evicting a finished idle session;
-  /// false if every live session is busy.
+  /// Frees a live slot for a waiter by evicting a finished idle session —
+  /// background victims first, then most-idle, then smallest id (a
+  /// deterministic order the tests can pin); false if every live session
+  /// is busy.
   bool pressure_evict();
   void arm_auto_checkpoint(Session& s);
   void destroy(std::uint64_t id);
+  /// Queues a live session with pending rounds for scheduling (no-op if
+  /// already queued).
+  void enqueue_ready(Session& s);
+  /// Pops the next schedulable session off ready_[c] (skipping stale
+  /// ids); nullptr when the class has none.
+  Session* pop_ready(std::size_t c);
+  std::uint64_t pump_budget() const;
+  /// Fills `grants` (one vector per class, dispatched in class order).
+  void schedule(std::vector<Grant> (&grants)[kNumQosClasses]);
 
   ServiceOptions opt_;
   ServiceStats stats_;
   std::unordered_map<std::uint64_t, Session> sessions_;
-  std::deque<std::uint64_t> waiting_;  ///< evicted sessions with queued work
+  /// Evicted sessions with queued work, per class (drained
+  /// interactive-first).
+  std::deque<std::uint64_t> waiting_[kNumQosClasses];
+  /// Live sessions with queued work, per class (round-robin within).
+  std::deque<std::uint64_t> ready_[kNumQosClasses];
+  /// Deficit credits for the throughput classes (indexed by class).
+  std::uint64_t credit_[kNumQosClasses] = {0, 0, 0};
   std::uint64_t next_id_ = 1;
   std::uint64_t live_ = 0;
   bool shutdown_ = false;

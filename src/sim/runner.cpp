@@ -65,16 +65,17 @@ void Runner::for_each_hinted(std::uint64_t jobs,
   RR_REQUIRE(cost_hint.size() == jobs, "one cost hint per job required");
   // LPT schedule: claim order is descending estimated cost (ties by job
   // index, so the order — and therefore any timing-sensitive telemetry —
-  // is deterministic). chunk = 1: hinted sweeps have few, large jobs, so
-  // claim contention is irrelevant and chunking would undo the ordering.
+  // is deterministic). Auto chunking: small hinted sweeps (few, large
+  // jobs) auto-size to chunk 1 — pure LPT — while huge sweeps of tiny
+  // jobs claim in chunks, relying on the pool's work stealing to un-strand
+  // any tail that lands behind a heavy job inside a chunk.
   std::vector<std::uint64_t> order(jobs);
   for (std::uint64_t i = 0; i < jobs; ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(),
                    [&](std::uint64_t a, std::uint64_t b) {
                      return cost_hint[a] > cost_hint[b];
                    });
-  pool_.for_each(jobs, [&](std::uint64_t slot) { fn(order[slot]); },
-                 /*chunk=*/1);
+  pool_.for_each(jobs, [&](std::uint64_t slot) { fn(order[slot]); });
 }
 
 std::vector<double> Runner::map(

@@ -209,9 +209,10 @@ class Runner {
   }
 
   /// for_each with per-job cost estimates (arbitrary positive units, only
-  /// relative magnitudes matter): jobs run largest-estimate-first, one
-  /// claim per job, so a strongly skewed sweep does not strand its big
-  /// jobs at the tail of the schedule (longest-processing-time-first).
+  /// relative magnitudes matter): jobs run largest-estimate-first, so a
+  /// strongly skewed sweep does not strand its big jobs at the tail of
+  /// the schedule (longest-processing-time-first); the pool's work
+  /// stealing covers the residual case of a heavy job leading a chunk.
   /// Results are identical to for_each — job i still receives index i —
   /// only the execution order changes. `cost_hint` must have one entry
   /// per job.

@@ -36,6 +36,7 @@ Request sample_request() {
   req.rounds = 257;
   req.every = 16;
   req.blob = std::string("rr-ckpt v2\x00\x01\x02", 13);
+  req.qos = QosClass::kBatch;
   return req;
 }
 
@@ -71,6 +72,27 @@ TEST(ServeProtocol, RequestRoundTripsThroughTheCodec) {
   EXPECT_EQ(back->rounds, req.rounds);
   EXPECT_EQ(back->every, req.every);
   EXPECT_EQ(back->blob, req.blob);
+  EXPECT_EQ(back->qos, req.qos);
+}
+
+TEST(ServeProtocol, PreQosRequestsDecodeWithInteractiveDefault) {
+  // Backward compatibility: the qos class is the one optional trailing
+  // field. A payload that ends at the blob (what pre-QoS clients send) is
+  // still a complete request and defaults to interactive; a payload that
+  // carries the field must spell a valid class and end with it.
+  const std::string payload = encode_request(sample_request());
+  // kBatch encodes as one trailing varint byte; cutting it off yields
+  // exactly the pre-QoS wire shape.
+  const auto old_shape = decode_request(bytes(payload), payload.size() - 1);
+  ASSERT_TRUE(old_shape.has_value());
+  EXPECT_EQ(old_shape->qos, QosClass::kInteractive);
+  EXPECT_EQ(old_shape->blob, sample_request().blob);
+  // An out-of-range class value is rejected...
+  std::string bad = payload;
+  bad.back() = 3;
+  EXPECT_FALSE(decode_request(bytes(bad), bad.size()));
+  // ...and so is anything after a valid qos field.
+  EXPECT_FALSE(decode_request(bytes(payload + "\x00"), payload.size() + 1));
 }
 
 TEST(ServeProtocol, ReplyRoundTripsThroughTheCodec) {
@@ -95,9 +117,16 @@ TEST(ServeProtocol, TrailingBytesAndBadTagsAreRejected) {
   const std::string payload = encode_request(sample_request());
   // Trailing garbage after a complete request.
   EXPECT_FALSE(decode_request(bytes(payload + "x"), payload.size() + 1));
-  // Every truncation is rejected (no partial decode).
+  // Every truncation is rejected (no partial decode) — except the one cut
+  // that lands exactly on the pre-QoS wire shape, which decodes with the
+  // interactive default (see PreQosRequestsDecodeWithInteractiveDefault).
+  const std::size_t pre_qos_cut = payload.size() - 1;
   for (std::size_t cut = 0; cut < payload.size(); ++cut) {
-    EXPECT_FALSE(decode_request(bytes(payload), cut)) << "cut=" << cut;
+    if (cut == pre_qos_cut) {
+      EXPECT_TRUE(decode_request(bytes(payload), cut)) << "cut=" << cut;
+    } else {
+      EXPECT_FALSE(decode_request(bytes(payload), cut)) << "cut=" << cut;
+    }
   }
   // Unknown opcode byte (opcode sits right after the id varint; id 7 is
   // one byte).

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -26,7 +27,16 @@
 namespace rr::serve {
 namespace {
 
-std::string test_dir() { return ::testing::TempDir(); }
+// Per-test checkpoint directory: session ids restart at 1 in every
+// service, so tests running in parallel ctest processes would otherwise
+// collide on each other's rr-session-<id>.ckpt eviction files.
+std::string test_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string dir =
+      ::testing::TempDir() + "rr-serve-" + info->name();
+  std::filesystem::create_directories(dir);
+  return dir;
+}
 
 /// In-process driver: requests through the real codecs, replies decoded
 /// off the Outgoing frames and indexed by request id.
@@ -260,11 +270,12 @@ TEST(ServeService, ResumeRoundTripsASnapshot) {
   EXPECT_EQ(drv.call(bad).status, Status::kError);
 }
 
-TEST(ServeService, AdmissionAndDoubleStepAnswerBusy) {
+TEST(ServeService, AdmissionBusyAndPipelinedStepsCoalesce) {
   ServiceOptions opt;
   opt.ckpt_dir = test_dir();
   opt.max_sessions = 2;
   opt.max_live = 2;
+  opt.max_queued_steps = 2;
   Driver drv(opt);
   const Reply& a = drv.call(create_req("rotor", "ring 96", 4));
   const Reply& b = drv.call(create_req("rotor", "ring 96", 4));
@@ -273,13 +284,204 @@ TEST(ServeService, AdmissionAndDoubleStepAnswerBusy) {
   // Table full: third create refused, retryable.
   EXPECT_EQ(drv.call(create_req("rotor", "ring 96", 4)).status,
             Status::kBusy);
-  // A step while one is in flight on the same session is refused.
-  const std::uint64_t pending = drv.send(step_req(a.session, 100000));
+  // Pipelined steps on one session coalesce into one stream of quanta;
+  // replies fire in request order as their cumulative targets are
+  // crossed (a coalesced reply may report a later time than its own
+  // target — the session kept running toward the merged backlog).
+  const std::uint64_t first = drv.send(step_req(a.session, 1000));
+  const std::uint64_t second = drv.send(step_req(a.session, 24));
+  // The queue sits at max_queued_steps: one more concurrent step refuses.
   EXPECT_EQ(drv.call(step_req(a.session, 1)).status, Status::kBusy);
-  ASSERT_EQ(drv.await(pending).status, Status::kOk);
-  // After the first finishes, stepping works again.
-  EXPECT_EQ(drv.call(step_req(a.session, 1)).status, Status::kOk);
+  const Reply& r1 = drv.await(first);
+  EXPECT_EQ(r1.status, Status::kOk);
+  EXPECT_GE(r1.time, 1000u);
+  const Reply& r2 = drv.await(second);
+  EXPECT_EQ(r2.status, Status::kOk);
+  EXPECT_EQ(r2.time, 1024u);  // the merged backlog ends exactly on target
+  // After the queue drains, stepping works again and stays exact.
+  EXPECT_EQ(drv.call(step_req(a.session, 1)).time, 1025u);
   EXPECT_GT(drv.service.stats().busy_replies, 1u);
+}
+
+TEST(ServeService, SchedulingPolicyNeverChangesTheTrajectory) {
+  // Mixed-class sessions, pipelined odd-sized steps, both policies with a
+  // deliberately tight budget: scheduling may change only the order and
+  // latency of rounds, so the final snapshot bytes must equal a direct
+  // uninterrupted run for every class under every policy.
+  for (const SchedPolicy policy : {SchedPolicy::kFifo, SchedPolicy::kQos}) {
+    SCOPED_TRACE(policy == SchedPolicy::kFifo ? "fifo" : "qos");
+    ServiceOptions opt;
+    opt.ckpt_dir = test_dir();
+    opt.policy = policy;
+    opt.quantum = 16;
+    opt.quantum_batch = 48;
+    opt.quantum_background = 32;
+    opt.pump_rounds = 64;
+    Driver drv(opt);
+    std::vector<std::uint64_t> ids;
+    for (const QosClass qos : {QosClass::kInteractive, QosClass::kBatch,
+                               QosClass::kBackground}) {
+      Request req = create_req("rotor", "ring 96", 4);
+      req.qos = qos;
+      const Reply& created = drv.call(req);
+      ASSERT_EQ(created.status, Status::kOk);
+      ids.push_back(created.session);
+    }
+    std::vector<std::uint64_t> reqs;
+    for (const std::uint64_t s : ids) {
+      reqs.push_back(drv.send(step_req(s, 201)));
+      reqs.push_back(drv.send(step_req(s, 56)));
+    }
+    for (const std::uint64_t r : reqs) {
+      ASSERT_EQ(drv.await(r).status, Status::kOk);
+    }
+    auto direct = direct_engine("rotor", "ring 96", 4);
+    direct->run(257);
+    const std::string direct_doc = sim::write_checkpoint(
+        *direct, "ring 96", sim::CkptFormat::kV2, sim::kV2DefaultSegments);
+    for (const std::uint64_t s : ids) {
+      Request snap;
+      snap.op = Op::kSnapshot;
+      snap.session = s;
+      const Reply& snapped = drv.call(snap);
+      ASSERT_EQ(snapped.status, Status::kOk);
+      EXPECT_EQ(snapped.time, 257u);
+      EXPECT_EQ(snapped.blob, direct_doc);
+    }
+  }
+}
+
+TEST(ServeService, InteractiveGrantsPreemptBatchBacklogWithinTheBudget) {
+  // One interactive session issuing a small step under two saturating
+  // batch sessions: the interactive reply lands on the very next pump,
+  // the pump's round volume is bounded by budget + interactive grants,
+  // and the batch class logs wait pumps whenever credit runs dry before
+  // its queue does.
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  opt.quantum = 8;
+  opt.quantum_batch = 32;
+  opt.pump_rounds = 32;
+  Driver drv(opt);
+  std::vector<std::uint64_t> batch_ids;
+  for (int i = 0; i < 2; ++i) {
+    Request req = create_req("rotor", "ring 96", 4);
+    req.qos = QosClass::kBatch;
+    const Reply& created = drv.call(req);
+    ASSERT_EQ(created.status, Status::kOk);
+    batch_ids.push_back(created.session);
+  }
+  const Reply& inter = drv.call(create_req("rotor", "ring 96", 4));
+  ASSERT_EQ(inter.status, Status::kOk);
+
+  std::vector<std::uint64_t> batch_reqs;
+  for (const std::uint64_t s : batch_ids) {
+    batch_reqs.push_back(drv.send(step_req(s, 1000)));
+  }
+  const std::uint64_t int_req = drv.send(step_req(inter.session, 8));
+  const std::uint64_t before = drv.service.stats().rounds_stepped;
+  drv.service.pump(drv.out);
+  drv.drain();
+  // One pump: the interactive step is done, and the pump stepped at most
+  // budget + interactive rounds despite 2000 queued batch rounds.
+  ASSERT_TRUE(drv.replies.count(int_req));
+  EXPECT_EQ(drv.replies.at(int_req).time, 8u);
+  EXPECT_LE(drv.service.stats().rounds_stepped - before,
+            opt.pump_rounds + opt.quantum);
+  for (const std::uint64_t r : batch_reqs) {
+    ASSERT_EQ(drv.await(r).status, Status::kOk);
+  }
+  const ServiceStats& st = drv.service.stats();
+  EXPECT_GT(st.qos[static_cast<std::size_t>(QosClass::kBatch)].wait_pumps, 0u);
+  EXPECT_EQ(st.qos[static_cast<std::size_t>(QosClass::kInteractive)].wait_pumps,
+            0u);
+}
+
+TEST(ServeService, EvictionPressurePrefersBackgroundSessions) {
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  opt.max_live = 2;
+  opt.evict_after = 0;  // pressure evictions only
+  Driver drv(opt);
+  Request interactive = create_req("rotor", "ring 96", 4);
+  interactive.qos = QosClass::kInteractive;
+  const Reply& a = drv.call(interactive);
+  ASSERT_EQ(a.status, Status::kOk);
+  Request background = create_req("rotor", "ring 96", 4);
+  background.qos = QosClass::kBackground;
+  const Reply& b = drv.call(background);
+  ASSERT_EQ(b.status, Status::kOk);
+  // A third create needs a slot: the background session is the victim
+  // even though the interactive one is just as idle (and older).
+  Request batch = create_req("rotor", "ring 96", 4);
+  batch.qos = QosClass::kBatch;
+  ASSERT_EQ(drv.call(batch).status, Status::kOk);
+  Request obs;
+  obs.op = Op::kObserve;
+  obs.session = a.session;
+  EXPECT_TRUE(drv.call(obs).resident);
+  obs.session = b.session;
+  EXPECT_FALSE(drv.call(obs).resident);
+  const ServiceStats& st = drv.service.stats();
+  EXPECT_EQ(st.qos[static_cast<std::size_t>(QosClass::kBackground)].evictions,
+            1u);
+  EXPECT_EQ(st.qos[static_cast<std::size_t>(QosClass::kInteractive)].evictions,
+            0u);
+}
+
+TEST(ServeService, PerClassStatsCountUnderLiveTablePressure) {
+  // One session per class over a single live slot: every class churns
+  // through eviction, deferred rehydration, and queue-cap busy replies,
+  // and both the stats struct and the kInfo message carry the per-class
+  // counters.
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  opt.max_live = 1;
+  opt.evict_after = 1;
+  opt.max_queued_steps = 1;
+  Driver drv(opt);
+  std::uint64_t ids[kNumQosClasses];
+  for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+    Request req = create_req("rotor", "ring 96", 4);
+    req.qos = static_cast<QosClass>(c);
+    const Reply& created = drv.call(req);
+    ASSERT_EQ(created.status, Status::kOk);
+    ids[c] = created.session;
+  }
+  for (int rep = 0; rep < 2; ++rep) {
+    for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+      ASSERT_EQ(drv.call(step_req(ids[c], 10)).status, Status::kOk);
+    }
+  }
+  // Queue cap is 1: a second concurrent step refuses, per class.
+  for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+    const std::uint64_t first = drv.send(step_req(ids[c], 500));
+    EXPECT_EQ(drv.call(step_req(ids[c], 1)).status, Status::kBusy);
+    ASSERT_EQ(drv.await(first).status, Status::kOk);
+  }
+  const ServiceStats& st = drv.service.stats();
+  std::uint64_t evictions = 0, rehydrations = 0;
+  for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+    SCOPED_TRACE(c);
+    EXPECT_GT(st.qos[c].step_requests, 0u);
+    EXPECT_GT(st.qos[c].rounds_scheduled, 0u);
+    EXPECT_GT(st.qos[c].busy_replies, 0u);
+    EXPECT_GT(st.qos[c].evictions, 0u);
+    EXPECT_GT(st.qos[c].rehydrations, 0u);
+    EXPECT_GT(st.qos[c].rehydrations_deferred, 0u);
+    evictions += st.qos[c].evictions;
+    rehydrations += st.qos[c].rehydrations;
+  }
+  // Aggregates equal the per-class sums.
+  EXPECT_EQ(st.evictions, evictions);
+  EXPECT_EQ(st.rehydrations, rehydrations);
+  Request info;
+  info.op = Op::kInfo;
+  const Reply& rep = drv.call(info);
+  EXPECT_NE(rep.message.find("qos[interactive]={"), std::string::npos);
+  EXPECT_NE(rep.message.find("qos[batch]={"), std::string::npos);
+  EXPECT_NE(rep.message.find("qos[background]={"), std::string::npos);
+  EXPECT_NE(rep.message.find("deferred="), std::string::npos);
 }
 
 TEST(ServeService, LostCheckpointAnswersEvictedAndDestroys) {

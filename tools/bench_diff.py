@@ -7,6 +7,10 @@ artifacts. Each entry carries one metric key from the METRICS table
 below; a regression is a drop in a higher-is-better metric (throughput)
 or a rise in a lower-is-better one (checkpoint bytes/node, peak RSS) of
 at least --threshold, and emits a GitHub Actions ::warning:: annotation.
+Samples fold to medians per (name, metric) pair, so per-QoS-class
+latency tails (bench_server's Server/mixed/<policy>/<class>_step rows
+under p99_seconds) diff independently: an interactive-tail regression is
+flagged by name even when the batch tail and every throughput row hold.
 Exit code is always 0 — the diff annotates, it does not gate (hot-loop
 noise on shared runners would make a hard gate flaky); a human decides
 whether a flagged change is real.

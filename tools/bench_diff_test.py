@@ -170,6 +170,51 @@ class RegressionFlagging(unittest.TestCase):
             self.assertEqual(code, 0)
             self.assertNotIn("::warning", out)
 
+    def test_per_class_p99_tails_fold_independently(self):
+        # bench_server's mixed-QoS lane publishes one p99 row per
+        # (policy, class); repetitions of each row fold to their own
+        # median, never across classes.
+        with tempfile.TemporaryDirectory() as d:
+            path = write_json(d, "a.json", [
+                entry("Server/mixed/qos/interactive_step", 0.002,
+                      metric="p99_seconds"),
+                entry("Server/mixed/qos/interactive_step", 0.004,
+                      metric="p99_seconds"),
+                entry("Server/mixed/qos/batch_step", 0.300,
+                      metric="p99_seconds"),
+                entry("Server/mixed/qos/step_rounds_per_s", 1.0e7),
+            ])
+            self.assertEqual(bench_diff.median_metrics(path), {
+                ("Server/mixed/qos/interactive_step", "p99_seconds"): 0.003,
+                ("Server/mixed/qos/batch_step", "p99_seconds"): 0.300,
+                ("Server/mixed/qos/step_rounds_per_s",
+                 "items_per_second"): 1.0e7,
+            })
+
+    def test_interactive_tail_regression_flags_only_that_class(self):
+        # The QoS scheduler's whole point is the interactive tail: if it
+        # grows past threshold the diff must name that row, while a steady
+        # batch tail stays quiet — one warning, aimed at the right class.
+        with tempfile.TemporaryDirectory() as d:
+            prev = write_json(d, "prev.json", [
+                entry("Server/mixed/qos/interactive_step", 0.0002,
+                      metric="p99_seconds"),
+                entry("Server/mixed/qos/batch_step", 0.300,
+                      metric="p99_seconds"),
+            ])
+            curr = write_json(d, "curr.json", [
+                entry("Server/mixed/qos/interactive_step", 0.0009,
+                      metric="p99_seconds"),
+                entry("Server/mixed/qos/batch_step", 0.305,
+                      metric="p99_seconds"),
+            ])
+            code, out = run_main([prev, curr])
+            self.assertEqual(code, 0)
+            self.assertIn(
+                "::warning title=bench regression::"
+                "Server/mixed/qos/interactive_step", out)
+            self.assertNotIn("batch_step p99_seconds rose", out)
+
     def test_unreadable_input_is_a_notice_not_a_failure(self):
         code, out = run_main(["/does/not/exist.json", "/also/missing.json"])
         self.assertEqual(code, 0)
