@@ -56,6 +56,7 @@
 #include "graph/generators.hpp"
 #include "graph/mmap_substrate.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/cycle_jump.hpp"
 #include "sim/registry.hpp"
 #include "sim/trace.hpp"
 
@@ -81,6 +82,9 @@ struct Flags {
   std::string ckpt_format = "v2";  // checkpoint wire format: v1 | v2
   std::string graph_image;  // rr-graph image to step out-of-core (run)
   std::string out;          // output path (build-graph)
+  // Steady-state cycle leaping (sim/cycle_jump.hpp): auto wraps
+  // deterministic engines, on requires one, off steps densely.
+  std::string cycle_jump = "auto";
 };
 
 bool parse_ckpt_format(const std::string& s, rr::sim::CkptFormat& format) {
@@ -131,6 +135,8 @@ int usage() {
                " --graph-image FILE]\n"
                "       --checkpoint FILE --resume FILE\n"
                "       --checkpoint-every N --shards N --ckpt-format v1|v2\n"
+               "       --cycle-jump on|off|auto (leap confirmed steady-state"
+               " cycles; default auto)\n"
                "  lockin: --topo ring|grid|torus|clique|hypercube|tree"
                " --size N\n"
                "  engines: list registered backends with substrate"
@@ -232,6 +238,17 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       const char* v = next("--out");
       if (!v) return false;
       f.out = v;
+    } else if (a == "--cycle-jump") {
+      const char* v = next("--cycle-jump");
+      if (!v) return false;
+      if (!rr::sim::cycle_jump_mode_from_name(v)) {
+        std::fprintf(stderr,
+                     "rr_cli: --cycle-jump must be one of on, off, auto "
+                     "(got %s)\n",
+                     v);
+        return false;
+      }
+      f.cycle_jump = v;
     } else {
       std::fprintf(stderr, "rr_cli: unknown flag %s\n", a.c_str());
       return false;
@@ -435,6 +452,16 @@ int cmd_run(const Flags& f) {
     descriptor = topo_descriptor(f);
     engine = build_engine(f, descriptor);
     if (!engine) return 2;
+  }
+  // Wrap before arming auto-checkpoints: the wrapper schedules leaps and
+  // dense chunks against its own checkpoint marks, so marks fire at the
+  // exact rounds (and with the exact bytes) a dense run would produce.
+  const auto cj_mode = rr::sim::cycle_jump_mode_from_name(f.cycle_jump);
+  std::string cj_error;
+  engine = rr::sim::wrap_cycle_jump(std::move(engine), *cj_mode, {}, &cj_error);
+  if (!engine) {
+    std::fprintf(stderr, "rr_cli: %s\n", cj_error.c_str());
+    return 2;
   }
   if (f.checkpoint_every > 0) {
     if (f.checkpoint.empty()) {

@@ -6,9 +6,11 @@
 //             [--policy fifo|qos] [--quantum-interactive N]
 //             [--quantum-batch N] [--quantum-background N]
 //             [--pump-rounds N] [--max-queued-steps N]
+//             [--cycle-jump on|off|auto]
 //   rr_serverd drive --socket /tmp/rr.sock --sessions N --rounds R
 //             [--engine NAME] [--graph DESC] [--k K] [--seed S]
-//             [--qos interactive|batch|background] [--shutdown]
+//             [--qos interactive|batch|background]
+//             [--cycle-jump on|off|auto] [--shutdown]
 //
 // `serve` hosts a serve::SessionService (src/serve/service.hpp) behind a
 // single-threaded poll() loop on an AF_UNIX socket: one FrameDecoder and
@@ -69,6 +71,9 @@ struct Flags {
   std::uint64_t quantum_background = 256;
   std::uint64_t pump_rounds = 0;
   std::uint64_t max_queued_steps = 16;
+  // serve: ServiceOptions::cycle_jump mode; drive: "off" opts every
+  // created session out on the wire (Request::no_cycle_jump).
+  std::string cycle_jump = "auto";
   // drive
   std::uint64_t sessions = 4;
   std::uint64_t rounds = 256;
@@ -88,10 +93,11 @@ int usage() {
       "         --evict-after N --ckpt-dir DIR --checkpoint-every N\n"
       "         --threads N --policy fifo|qos --quantum-interactive N\n"
       "         --quantum-batch N --quantum-background N --pump-rounds N\n"
-      "         --max-queued-steps N\n"
+      "         --max-queued-steps N --cycle-jump on|off|auto\n"
       "  drive: --socket PATH --sessions N --rounds R --engine NAME\n"
       "         --graph DESC --k K --seed S\n"
-      "         --qos interactive|batch|background [--shutdown]\n");
+      "         --qos interactive|batch|background\n"
+      "         --cycle-jump on|off|auto [--shutdown]\n");
   return 2;
 }
 
@@ -106,6 +112,7 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       {"--graph", &f.graph},
       {"--policy", &f.policy},
       {"--qos", &f.qos},
+      {"--cycle-jump", &f.cycle_jump},
   };
   std::unordered_map<std::string, std::uint64_t*> nums = {
       {"--max-sessions", &f.max_sessions},
@@ -162,6 +169,12 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
     std::fprintf(stderr, "rr_serverd: --qos must be one of interactive, "
                          "batch, background (got '%s')\n",
                  f.qos.c_str());
+    return false;
+  }
+  if (!rr::sim::cycle_jump_mode_from_name(f.cycle_jump)) {
+    std::fprintf(stderr, "rr_serverd: --cycle-jump must be one of on, off, "
+                         "auto (got '%s')\n",
+                 f.cycle_jump.c_str());
     return false;
   }
   return true;
@@ -244,6 +257,7 @@ int cmd_serve(const Flags& f) {
   opt.max_queued_steps = f.max_queued_steps;
   opt.auto_checkpoint_every = f.checkpoint_every;
   opt.ckpt_dir = f.ckpt_dir;
+  opt.cycle_jump = *rr::sim::cycle_jump_mode_from_name(f.cycle_jump);
   opt.pool = &pool;
   rr::serve::SessionService service(opt);
 
@@ -387,6 +401,9 @@ int cmd_drive(const Flags& f) {
     req.k = f.k;
     req.seed = f.seed;
     req.qos = qos;
+    // drive has no server-side say: "off" rides the per-session opt-out
+    // bit; "on"/"auto" defer to the server's configured mode.
+    req.no_cycle_jump = f.cycle_jump == "off";
     for (int attempt = 0; attempt < 1000; ++attempt) {
       const auto rep = client.call(req);
       if (!rep) {

@@ -4,7 +4,6 @@
 
 #include "common/hash.hpp"
 #include "core/rotor_router.hpp"
-#include "sim/limit_cycle.hpp"
 
 namespace rr::core {
 
@@ -137,6 +136,38 @@ void EulerianRotorRouter::serialize_state(sim::StateWriter& out) const {
   out.field_list("first_visit", first_visit_);
 }
 
+bool EulerianRotorRouter::apply_cycle_leap(
+    const std::vector<sim::AccumulatorDelta>& deltas, std::uint64_t cycles) {
+  // Validate every delta before mutating anything (the hook is atomic):
+  // only "time" (scalar) and "visits" (runs covering the node range) are
+  // circulation accumulators; anything else falls back to the generic path.
+  const sim::AccumulatorDelta* time_d = nullptr;
+  const sim::AccumulatorDelta* visits_d = nullptr;
+  for (const sim::AccumulatorDelta& d : deltas) {
+    if (d.key == "time") {
+      if (!d.scalar) return false;
+      time_d = &d;
+    } else if (d.key == "visits") {
+      if (d.scalar) return false;
+      std::uint64_t len = 0;
+      for (const sim::DeltaRun& r : d.runs) len += r.len;
+      if (len != visits_.size()) return false;
+      visits_d = &d;
+    } else {
+      return false;
+    }
+  }
+  if (time_d) time_ += cycles * time_d->scalar_delta;
+  if (visits_d) {
+    std::size_t v = 0;
+    for (const sim::DeltaRun& r : visits_d->runs) {
+      const std::uint64_t add = cycles * r.delta;
+      for (std::uint64_t i = 0; i < r.len; ++i) visits_[v++] += add;
+    }
+  }
+  return true;
+}
+
 bool EulerianRotorRouter::deserialize_state(const sim::StateReader& in) {
   const NodeId n = csr_.num_nodes();
   const std::size_t arcs = csr_.num_arcs();
@@ -205,9 +236,15 @@ EulerianLockIn eulerian_from_lock_in(const graph::Graph& g, NodeId start,
   EulerianLockIn out;
   out.rotor = std::make_unique<RotorRouter>(
       g, std::vector<NodeId>{start}, std::move(pointers));
-  const auto cycle = sim::detect_hash_cycle(*out.rotor, max_steps);
+  // Hardened detection (full rigid-state confirmation, not hash trust):
+  // the accumulator set is the rotor engine's, passed explicitly so the
+  // core layer does not depend on the registry.
+  static const std::vector<std::string> kRotorAccumulators = {
+      "time", "visits", "exits", "last_visit"};
+  const auto cycle =
+      sim::detect_confirmed_cycle(*out.rotor, max_steps, &kRotorAccumulators);
   if (!cycle) return out;
-  out.detected_at = cycle->detected_at;
+  out.detected_at = cycle->at_time;
   out.period = cycle->period;
 
   // The rotor is provably inside its limit cycle; one lap of 2|E| rounds

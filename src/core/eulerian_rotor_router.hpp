@@ -20,8 +20,8 @@
 //     connected substrate, covering within 2|E| rounds per token.
 //
 //   - eulerian_from_lock_in(g, start): runs a real single-agent
-//     core::RotorRouter until the generic Brent detector
-//     (sim/limit_cycle.hpp) confirms its limit cycle, extracts the
+//     core::RotorRouter until the hardened cycle detector
+//     (sim/cycle_jump.hpp) confirms its limit cycle, extracts the
 //     locked-in circuit from the live rotor state, and returns a token
 //     engine positioned exactly where the rotor agent stands. From that
 //     point the two engines advance identically round for round — the
@@ -42,6 +42,7 @@
 #include "graph/csr_graph.hpp"
 #include "graph/eulerian.hpp"
 #include "graph/graph.hpp"
+#include "sim/cycle_jump.hpp"
 #include "sim/engine.hpp"
 #include "sim/state_io.hpp"
 
@@ -49,7 +50,9 @@ namespace rr::core {
 
 class RotorRouter;
 
-class EulerianRotorRouter final : public sim::Engine, public sim::StateIO {
+class EulerianRotorRouter final : public sim::Engine,
+                                  public sim::StateIO,
+                                  public sim::CycleLeapable {
  public:
   /// Hierholzer circuit from `agents[0]`; one token per agent, placed at
   /// successive circuit offsets tailed at that agent's start node (a
@@ -125,7 +128,7 @@ class EulerianRotorRouter final : public sim::Engine, public sim::StateIO {
 
   /// FNV-1a over the sorted token-offset multiset (plus the circuit
   /// length): the configuration is periodic in the offsets with period
-  /// dividing 2|E|, which the Brent detector (sim/limit_cycle.hpp)
+  /// dividing 2|E|, which the hardened detector (sim/cycle_jump.hpp)
   /// recovers exactly.
   std::uint64_t config_hash() const override;
 
@@ -135,6 +138,13 @@ class EulerianRotorRouter final : public sim::Engine, public sim::StateIO {
   /// tails re-chained on load), token offsets, and visit statistics.
   void serialize_state(sim::StateWriter& out) const override;
   [[nodiscard]] bool deserialize_state(const sim::StateReader& in) override;
+
+  /// Confirmed-cycle fast leap (sim::CycleLeapable): the circulation's
+  /// accumulators are time and the per-node visit counts; tokens and the
+  /// circuit are bit-identical across a period and stay untouched.
+  [[nodiscard]] bool apply_cycle_leap(
+      const std::vector<sim::AccumulatorDelta>& deltas,
+      std::uint64_t cycles) override;
 
  private:
   void do_step_delayed(const sim::DelayFn& delay) override {

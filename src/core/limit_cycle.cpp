@@ -1,87 +1,53 @@
 #include "core/limit_cycle.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "sim/cycle_jump.hpp"
 
 namespace rr::core {
 
 namespace {
 
-struct Snapshot {
-  std::vector<std::uint32_t> counts;
-  std::vector<std::uint8_t> pointers;
-
-  static Snapshot of(const RingRotorRouter& rr) {
-    Snapshot s;
-    const NodeId n = rr.num_nodes();
-    s.counts.resize(n);
-    s.pointers.resize(n);
-    for (NodeId v = 0; v < n; ++v) {
-      s.counts[v] = rr.agents_at(v);
-      s.pointers[v] = rr.pointer(v);
-    }
-    return s;
-  }
-
-  bool matches(const RingRotorRouter& rr) const {
-    const NodeId n = rr.num_nodes();
-    for (NodeId v = 0; v < n; ++v) {
-      if (rr.agents_at(v) != counts[v] || rr.pointer(v) != pointers[v]) {
-        return false;
-      }
-    }
-    return true;
-  }
-};
+// Accumulator classification for the ring engine's serialized state, per
+// the EngineSpec::cycle_accumulators contract (sim/cycle_jump.hpp): time
+// and the per-node visit/exit/last-visit counters advance by a constant
+// per period; everything else (agents, pointers, travel_dir, first_visit,
+// last_arrival counts, last_single_prop) is rigid and must match exactly.
+// Passed explicitly so this file has no registry dependency.
+const std::vector<std::string>& ring_accumulators() {
+  static const std::vector<std::string> kAccumulators = {
+      "time", "visits", "exits", "last_visit"};
+  return kAccumulators;
+}
 
 }  // namespace
 
 std::optional<LimitCycle> detect_limit_cycle(const RingConfig& config,
                                              std::uint64_t max_steps) {
-  // Brent's algorithm: the tortoise is a stored snapshot, the hare is the
-  // live engine advancing one round at a time.
+  // Hardened detector (sim/cycle_jump.hpp): Brent over config_hash
+  // proposes, full rigid-state comparison confirms, so the returned
+  // period is the exact minimal configuration period even under 64-bit
+  // hash collisions. The snapshot machinery this file used to carry is
+  // subsumed: a serialized-state compare covers counts and pointers.
   RingRotorRouter hare = config.make();
-  Snapshot tortoise = Snapshot::of(hare);
-  std::uint64_t power = 1, lam = 0;
-  while (hare.time() < max_steps) {
-    if (lam == power) {
-      tortoise = Snapshot::of(hare);
-      power *= 2;
-      lam = 0;
-    }
-    hare.step();
-    ++lam;
-    if (tortoise.matches(hare)) {
-      return LimitCycle{lam, hare.time()};
-    }
-  }
-  return std::nullopt;
+  const auto cycle =
+      sim::detect_confirmed_cycle(hare, max_steps, &ring_accumulators());
+  if (!cycle) return std::nullopt;
+  return LimitCycle{cycle->period, cycle->at_time};
 }
 
 std::optional<ExactReturnTime> exact_return_time(const RingConfig& config,
                                                  std::uint64_t max_steps) {
-  // Re-run Brent keeping the live engine, then traverse one full period
-  // recording visit times.
+  // Confirm the limit cycle on a live engine, then traverse one full
+  // period recording visit times.
   RingRotorRouter rr = config.make();
-  Snapshot tortoise = Snapshot::of(rr);
-  std::uint64_t power = 1, lam = 0;
-  bool found = false;
-  while (rr.time() < max_steps) {
-    if (lam == power) {
-      tortoise = Snapshot::of(rr);
-      power *= 2;
-      lam = 0;
-    }
-    rr.step();
-    ++lam;
-    if (tortoise.matches(rr)) {
-      found = true;
-      break;
-    }
-  }
-  if (!found) return std::nullopt;
+  const auto cycle =
+      sim::detect_confirmed_cycle(rr, max_steps, &ring_accumulators());
+  if (!cycle) return std::nullopt;
 
-  const std::uint64_t period = lam;
+  const std::uint64_t period = cycle->period;
   const NodeId n = rr.num_nodes();
   constexpr std::uint64_t kNever = ~std::uint64_t{0};
   std::vector<std::uint64_t> first(n, kNever), last(n, kNever), gap(n, 0);

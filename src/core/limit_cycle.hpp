@@ -3,10 +3,12 @@
 // Limit-cycle detection and exact return time (S8, paper Sec. 4).
 //
 // The rotor-router is a deterministic finite-state system: it must enter a
-// cycle of configurations (pointers + agent multiset). For instances small
-// enough to snapshot, Brent's algorithm finds the period and a bound on the
-// pre-period, and one extra traversal of the cycle yields the *exact*
-// return time: max over nodes of the longest (cyclic) inter-visit gap.
+// cycle of configurations (pointers + agent multiset). Detection routes
+// through the hardened engine-generic detector (sim/cycle_jump.hpp —
+// Brent over config_hash proposes, full serialized-state comparison
+// confirms, so the period is exact even under hash collisions); one extra
+// traversal of the confirmed cycle then yields the *exact* return time:
+// max over nodes of the longest (cyclic) inter-visit gap.
 //
 // Also here: the single-agent Eulerian lock-in detector used to validate
 // the Yanovski et al. substrate result (lock-in within 2 D |E| rounds, each
@@ -28,8 +30,9 @@ struct LimitCycle {
   std::uint64_t in_cycle_time = 0;
 };
 
-/// Brent cycle detection on full configurations of the ring rotor-router.
-/// Returns nullopt if no cycle is confirmed within `max_steps`.
+/// Confirmed cycle detection on full configurations of the ring
+/// rotor-router (sim::detect_confirmed_cycle under the hood). Returns
+/// nullopt if no cycle is confirmed within `max_steps`.
 std::optional<LimitCycle> detect_limit_cycle(const RingConfig& config,
                                              std::uint64_t max_steps);
 

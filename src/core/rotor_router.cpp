@@ -81,6 +81,11 @@ void RotorRouter::serialize_state(sim::StateWriter& out) const {
   serialize_rotor_state(out, time_, node_, initial_pointers_, stats_);
 }
 
+bool RotorRouter::apply_cycle_leap(
+    const std::vector<sim::AccumulatorDelta>& deltas, std::uint64_t cycles) {
+  return leap_rotor_accumulators(deltas, cycles, time_, stats_);
+}
+
 bool RotorRouter::deserialize_state(const sim::StateReader& in) {
   return deserialize_state(in, /*pool=*/nullptr);
 }

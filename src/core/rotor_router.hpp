@@ -34,6 +34,7 @@
 #include "graph/graph.hpp"
 #include "graph/mmap_substrate.hpp"
 #include "graph/partition.hpp"
+#include "sim/cycle_jump.hpp"
 #include "sim/engine.hpp"
 #include "sim/state_io.hpp"
 
@@ -49,7 +50,9 @@ using graph::NodeId;
 
 inline constexpr std::uint64_t kNotCovered = sim::kNotCovered;
 
-class RotorRouter final : public sim::Engine, public sim::StateIO {
+class RotorRouter final : public sim::Engine,
+                          public sim::StateIO,
+                          public sim::CycleLeapable {
  public:
   /// `agents`: multiset of starting nodes (k = agents.size()).
   /// `pointers`: initial pi_v per node; empty means all ports 0.
@@ -168,6 +171,12 @@ class RotorRouter final : public sim::Engine, public sim::StateIO {
   /// the sequential form. nullptr pool == the virtual overload.
   [[nodiscard]] bool deserialize_state(const sim::StateReader& in,
                                        sim::ThreadPool* pool);
+
+  /// Confirmed-cycle fast leap (sim::CycleLeapable): time and the stats
+  /// counters advance by per-cycle deltas, node state untouched.
+  [[nodiscard]] bool apply_cycle_leap(
+      const std::vector<sim::AccumulatorDelta>& deltas,
+      std::uint64_t cycles) override;
 
  private:
   void do_step_delayed(const sim::DelayFn& delay) override {

@@ -28,10 +28,59 @@
 #include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
+#include "sim/cycle_jump.hpp"
 #include "sim/state_io.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace rr::core {
+
+/// CycleLeapable fast hook shared by both rotor-router engines: applies
+/// `cycles` confirmed periods by patching time and the per-node stats
+/// counters in place — no serialize/reparse round-trip, one pass over the
+/// delta runs. Atomic per the CycleLeapable contract: every delta key and
+/// length is validated before anything mutates; false means "unknown
+/// shape, nothing changed" and the wrapper falls back to its generic
+/// (equally exact) leap path.
+template <typename StatsArray>
+inline bool leap_rotor_accumulators(
+    const std::vector<sim::AccumulatorDelta>& deltas, std::uint64_t cycles,
+    std::uint64_t& time, StatsArray& stats) {
+  const std::uint64_t n = stats.size();
+  const auto member_of = [](const std::string& key)
+      -> std::uint64_t VisitStats::* {
+    if (key == "visits") return &VisitStats::visits;
+    if (key == "exits") return &VisitStats::exits;
+    if (key == "last_visit") return &VisitStats::last_visit;
+    return nullptr;
+  };
+  for (const sim::AccumulatorDelta& d : deltas) {
+    if (d.key == "time") {
+      if (!d.scalar) return false;
+      continue;
+    }
+    if (d.scalar || member_of(d.key) == nullptr) return false;
+    std::uint64_t covered = 0;
+    for (const sim::DeltaRun& r : d.runs) covered += r.len;
+    if (covered != n) return false;
+  }
+  for (const sim::AccumulatorDelta& d : deltas) {
+    if (d.key == "time") {
+      time += cycles * d.scalar_delta;
+      continue;
+    }
+    const auto member = member_of(d.key);
+    std::uint64_t v = 0;
+    for (const sim::DeltaRun& r : d.runs) {
+      const std::uint64_t add = cycles * r.delta;
+      if (add == 0) {
+        v += r.len;
+        continue;
+      }
+      for (std::uint64_t j = 0; j < r.len; ++j, ++v) stats[v].*member += add;
+    }
+  }
+  return true;
+}
 
 /// The substrate-independent tail of engine construction: validates and
 /// applies the optional initial pointer field, places the agent multiset

@@ -102,6 +102,11 @@ void ShardedRotorRouter::serialize_state(sim::StateWriter& out) const {
   serialize_rotor_state(out, time_, node_, initial_pointers_, stats_);
 }
 
+bool ShardedRotorRouter::apply_cycle_leap(
+    const std::vector<sim::AccumulatorDelta>& deltas, std::uint64_t cycles) {
+  return leap_rotor_accumulators(deltas, cycles, time_, stats_);
+}
+
 bool ShardedRotorRouter::deserialize_state(const sim::StateReader& in) {
   const auto restored =
       deserialize_rotor_state(in, csr_, node_, initial_pointers_, stats_);

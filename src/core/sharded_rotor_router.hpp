@@ -47,13 +47,16 @@
 #include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
+#include "sim/cycle_jump.hpp"
 #include "sim/engine.hpp"
 #include "sim/state_io.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace rr::core {
 
-class ShardedRotorRouter final : public sim::Engine, public sim::StateIO {
+class ShardedRotorRouter final : public sim::Engine,
+                                 public sim::StateIO,
+                                 public sim::CycleLeapable {
  public:
   /// `shards` 0 = one shard per pool thread. `pool` may be shared (e.g.
   /// sim::Runner::pool()) so trial- and shard-level parallelism draw from
@@ -129,6 +132,12 @@ class ShardedRotorRouter final : public sim::Engine, public sim::StateIO {
 
   void serialize_state(sim::StateWriter& out) const override;
   [[nodiscard]] bool deserialize_state(const sim::StateReader& in) override;
+
+  /// Confirmed-cycle fast leap (sim::CycleLeapable), identical to the
+  /// sequential engine's: per-node stats and time advance in place.
+  [[nodiscard]] bool apply_cycle_leap(
+      const std::vector<sim::AccumulatorDelta>& deltas,
+      std::uint64_t cycles) override;
 
  private:
   // Per-shard working state. Padded to a cache line so the occasional

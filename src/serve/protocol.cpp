@@ -80,6 +80,7 @@ std::string encode_request(const Request& req) {
   put_varint(out, req.every);
   put_string(out, req.blob);
   put_varint(out, static_cast<std::uint64_t>(req.qos));
+  put_varint(out, req.no_cycle_jump ? 1 : 0);
   return out;
 }
 
@@ -134,13 +135,17 @@ std::optional<Request> decode_request(const std::uint8_t* data,
   req.rounds = *rounds;
   req.every = *every;
   if (!get_string(data, size, &pos, req.blob)) return std::nullopt;
-  // Optional trailing qos class: a pre-QoS payload ends at the blob and
-  // defaults to interactive; a payload that carries the field must spell
-  // a valid class and end with it.
+  // Optional tail (oldest clients stop at the blob): qos class, then the
+  // cycle-jump opt-out bit. Each present field must be valid, and the
+  // last present one must end the payload.
   if (pos == size) return req;
   const auto qos = get_varint(data, size, &pos);
-  if (!qos || *qos >= kNumQosClasses || pos != size) return std::nullopt;
+  if (!qos || *qos >= kNumQosClasses) return std::nullopt;
   req.qos = static_cast<QosClass>(*qos);
+  if (pos == size) return req;
+  const auto no_cj = get_varint(data, size, &pos);
+  if (!no_cj || *no_cj > 1 || pos != size) return std::nullopt;
+  req.no_cycle_jump = *no_cj != 0;
   return req;
 }
 

@@ -28,15 +28,18 @@
 //                                                 0 -> server spreads
 //                                                 i*n/k like rr_cli)
 //     varint session | varint rounds | varint every | str blob |
-//     [varint qos]
+//     [varint qos [varint no_cycle_jump]]
 //
 // Every request carries the full field block (unused fields encode as
 // 0/empty — a fixed shape keeps the decoder total and the fuzz lane
-// simple); the opcode says which fields matter. The trailing qos class
-// is the one optional field: pre-QoS clients end their payload at the
-// blob, and the decoder defaults them to interactive — new fields extend
-// the tail, never reshape the prefix. When present, qos must be a valid
-// class *and* the final field (anything after it is still malformed).
+// simple); the opcode says which fields matter. Optional fields extend
+// the tail, never reshape the prefix: pre-QoS clients end their payload
+// at the blob (decoded as interactive), QoS-era clients end it at the
+// qos class, and current clients append the per-session cycle-jump
+// opt-out bit (kCreate/kResume; absent = 0 = the service's configured
+// mode applies). Each optional field, when present, must be valid — qos
+// a known class, no_cycle_jump <= 1 — and the *last* present one must
+// also be final (anything after it is still malformed).
 // Reply payload:
 //
 //   varint request_id | u8 status | varint session | varint time |
@@ -111,6 +114,11 @@ struct Request {
   std::uint64_t every = 0;  ///< auto-checkpoint / trace period
   std::string blob;         ///< checkpoint document (kResume)
   QosClass qos = QosClass::kInteractive;  ///< scheduling class (kCreate/kResume)
+  /// Per-session steady-state cycle-leaping opt-out (kCreate/kResume):
+  /// false (the wire default when the trailing field is absent) leaves
+  /// the decision to the service's configured CycleJumpMode; true pins
+  /// this session to dense stepping.
+  bool no_cycle_jump = false;
 };
 
 struct Reply {

@@ -121,7 +121,15 @@ bool SessionService::evict(Session& s) {
 bool SessionService::rehydrate(Session& s) {
   auto engine = sim::restore_checkpoint_file(evict_path(s.id), 1, opt_.pool);
   if (!engine) return false;
-  s.engine = std::move(engine);
+  // Re-apply the session's cycle-jump decision: eviction files hold the
+  // inner engine's state, so the wrapper is reconstructed. kOn maps to
+  // kAuto here — the requirement was enforced at create, and kAuto can
+  // never fail, so a rehydration degrades to dense stepping rather than
+  // losing the session.
+  sim::CycleJumpMode mode =
+      s.no_cycle_jump ? sim::CycleJumpMode::kOff : opt_.cycle_jump;
+  if (mode == sim::CycleJumpMode::kOn) mode = sim::CycleJumpMode::kAuto;
+  s.engine = sim::wrap_cycle_jump(std::move(engine), mode);
   s.idle_pumps = 0;
   arm_auto_checkpoint(s);
   refresh_summary(s);
@@ -351,6 +359,22 @@ void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
         }
         s.engine = std::move(engine);
         s.descriptor = parsed->graph_descriptor;
+      }
+      s.no_cycle_jump = req->no_cycle_jump;
+      {
+        // Wrap before arming auto-checkpoints so leap scheduling honors
+        // the checkpoint marks; the wrapper forwards every observable and
+        // serializes the inner state, so summaries, snapshots and
+        // evictions are unchanged.
+        std::string cj_error;
+        s.engine = sim::wrap_cycle_jump(
+            std::move(s.engine),
+            s.no_cycle_jump ? sim::CycleJumpMode::kOff : opt_.cycle_jump, {},
+            &cj_error);
+        if (!s.engine) {
+          emit(out, conn, error_reply(req->id, cj_error.c_str()));
+          return;
+        }
       }
       s.id = next_id_++;
       s.qos = req->qos;

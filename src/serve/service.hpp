@@ -78,6 +78,7 @@
 #include <vector>
 
 #include "serve/protocol.hpp"
+#include "sim/cycle_jump.hpp"
 #include "sim/engine.hpp"
 
 namespace rr::sim {
@@ -109,6 +110,14 @@ struct ServiceOptions {
   /// Default auto-checkpoint period for sessions created with every == 0
   /// (0 = auto-checkpointing off unless the create request asks).
   std::uint64_t auto_checkpoint_every = 0;
+  /// Steady-state cycle leaping applied to session engines at create /
+  /// resume / rehydration (sim::wrap_cycle_jump): kAuto wraps
+  /// deterministic backends, kOff never wraps, kOn rejects
+  /// non-deterministic creates. Requests may opt a session out on the
+  /// wire (Request::no_cycle_jump); leaping changes the cost of a step
+  /// quantum, never its result, so served trajectories stay bit-identical
+  /// under every mode.
+  sim::CycleJumpMode cycle_jump = sim::CycleJumpMode::kAuto;
   std::string ckpt_dir = "/tmp";  ///< eviction / auto-checkpoint files
   sim::ThreadPool* pool = nullptr;  ///< shared pool (stepping + ckpt codec)
 };
@@ -207,6 +216,7 @@ class SessionService {
     std::uint64_t agents = 0;
     std::uint64_t config_hash = 0;
     std::uint64_t ckpt_every = 0;  ///< auto-checkpoint period (0 = off)
+    bool no_cycle_jump = false;    ///< wire opt-out, sticky across rehydration
     // Coalesced step requests: pending_rounds is the distance from the
     // engine clock to the *last* waiter's target.
     std::deque<StepWaiter> step_waiters;

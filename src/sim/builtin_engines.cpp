@@ -70,6 +70,8 @@ void register_rotor(EngineRegistry& r) {
                  "--shards N steps it shard-parallel, bit-equal)",
       .substrate_kinds = {},
       .supports_shards = true,
+      .deterministic = true,
+      .cycle_accumulators = {"time", "visits", "exits", "last_visit"},
       .factory = [](const graph::GraphDescriptor& d, const EngineConfig& c,
                     std::string* error) -> std::unique_ptr<Engine> {
         const auto g = build_graph(d, error);
@@ -115,6 +117,11 @@ void register_ring(EngineRegistry& r) {
       .summary = "ring-specialized rotor-router with Sec. 2.2 visit "
                  "classification (domains/borders)",
       .substrate_kinds = {"ring"},
+      .deterministic = true,
+      // last_arrival is a per-node agent *count* (periodic on the cycle,
+      // so rigid comparison both confirms it and keeps it unchanged);
+      // only the round-valued counters advance per period.
+      .cycle_accumulators = {"time", "visits", "exits", "last_visit"},
       .factory = [](const graph::GraphDescriptor& d, const EngineConfig& c,
                     std::string* error) -> std::unique_ptr<Engine> {
         const auto n = *d.num_nodes();
@@ -142,6 +149,11 @@ void register_lazy(EngineRegistry& r) {
       .summary = "O(k log k)/round domain-dynamics ring engine with "
                  "ballistic fast-forward in run()",
       .substrate_kinds = {"ring"},
+      .deterministic = true,
+      // In the dense phase the serialized promotion scalars keep doubling
+      // (rigid, never equal), so confirmation only engages after the
+      // engine promotes to its lazy O(k) representation — by design.
+      .cycle_accumulators = {"time", "visits"},
       .factory = [](const graph::GraphDescriptor& d, const EngineConfig& c,
                     std::string* error) -> std::unique_ptr<Engine> {
         const auto n = *d.num_nodes();
@@ -196,6 +208,8 @@ void register_eulerian(EngineRegistry& r) {
                  "per round along a fixed Eulerian circuit (O(k)/round)",
       .substrate_kinds = {},
       .supports_shards = false,
+      .deterministic = true,
+      .cycle_accumulators = {"time", "visits"},
       .factory = [](const graph::GraphDescriptor& d, const EngineConfig& c,
                     std::string* error) -> std::unique_ptr<Engine> {
         const auto g = build_graph(d, error);

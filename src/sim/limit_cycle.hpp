@@ -6,9 +6,11 @@
 // sequence of configurations must enter a cycle. Brent's algorithm over
 // `config_hash()` finds the period of that cycle for *any* sim::Engine with
 // O(1) memory — no per-engine snapshot type needed. Hash equality is
-// probabilistic (64-bit FNV over the full configuration), which is ample
-// for test/bench-scale instances; core/limit_cycle.hpp keeps the exact
-// ring-specific machinery (full-state equality plus per-node gap scans).
+// probabilistic (64-bit FNV over the full configuration); callers that
+// need collision-proof exactness use sim::detect_confirmed_cycle
+// (sim/cycle_jump.hpp), which runs this same Brent proposal and then
+// confirms with a full serialized-state comparison. This header stays as
+// the zero-dependency probabilistic probe (and regression anchor).
 
 #include <cstdint>
 #include <optional>

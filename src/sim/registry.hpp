@@ -79,6 +79,17 @@ struct EngineSpec {
   std::vector<std::string> substrate_kinds;
   /// True if EngineConfig::shards > 1 selects a shard-parallel stepper.
   bool supports_shards = false;
+  /// True if the trajectory is a pure function of the configuration (no
+  /// RNG, no floating point): eligible for steady-state cycle leaping
+  /// (sim/cycle_jump.hpp). Stochastic and continuous backends stay false.
+  bool deterministic = false;
+  /// serialize_state keys of monotone accumulator fields (u64 scalar or
+  /// u64 list) whose per-period increment is constant from any settled
+  /// in-cycle round — time, visit/exit counters, last-visit rounds.
+  /// Cycle-jump confirmation compares every *other* field exactly and
+  /// leaps these by per-cycle deltas; see sim/cycle_jump.hpp for the
+  /// soundness contract. Meaningful only when `deterministic`.
+  std::vector<std::string> cycle_accumulators;
 
   /// Builds a fresh engine. The descriptor has already passed the
   /// substrate check; the factory returns nullptr (optionally setting

@@ -37,6 +37,7 @@ Request sample_request() {
   req.every = 16;
   req.blob = std::string("rr-ckpt v2\x00\x01\x02", 13);
   req.qos = QosClass::kBatch;
+  req.no_cycle_jump = true;
   return req;
 }
 
@@ -73,25 +74,37 @@ TEST(ServeProtocol, RequestRoundTripsThroughTheCodec) {
   EXPECT_EQ(back->every, req.every);
   EXPECT_EQ(back->blob, req.blob);
   EXPECT_EQ(back->qos, req.qos);
+  EXPECT_EQ(back->no_cycle_jump, req.no_cycle_jump);
 }
 
 TEST(ServeProtocol, PreQosRequestsDecodeWithInteractiveDefault) {
-  // Backward compatibility: the qos class is the one optional trailing
-  // field. A payload that ends at the blob (what pre-QoS clients send) is
-  // still a complete request and defaults to interactive; a payload that
-  // carries the field must spell a valid class and end with it.
+  // Backward compatibility: qos and the cycle-jump opt-out are the two
+  // optional trailing fields, in that order. A payload that ends at the
+  // blob (what pre-QoS clients send) is still a complete request and
+  // defaults to interactive + leaping allowed; one that ends at qos (the
+  // PR-8 shape) defaults the opt-out to false; one that carries both must
+  // spell valid values and end with the opt-out.
   const std::string payload = encode_request(sample_request());
-  // kBatch encodes as one trailing varint byte; cutting it off yields
-  // exactly the pre-QoS wire shape.
-  const auto old_shape = decode_request(bytes(payload), payload.size() - 1);
+  // kBatch and the opt-out each encode as one trailing varint byte;
+  // cutting one off yields the PR-8 shape, cutting both the pre-QoS one.
+  const auto qos_shape = decode_request(bytes(payload), payload.size() - 1);
+  ASSERT_TRUE(qos_shape.has_value());
+  EXPECT_EQ(qos_shape->qos, QosClass::kBatch);
+  EXPECT_FALSE(qos_shape->no_cycle_jump);
+  const auto old_shape = decode_request(bytes(payload), payload.size() - 2);
   ASSERT_TRUE(old_shape.has_value());
   EXPECT_EQ(old_shape->qos, QosClass::kInteractive);
+  EXPECT_FALSE(old_shape->no_cycle_jump);
   EXPECT_EQ(old_shape->blob, sample_request().blob);
   // An out-of-range class value is rejected...
   std::string bad = payload;
-  bad.back() = 3;
+  bad[bad.size() - 2] = 3;
   EXPECT_FALSE(decode_request(bytes(bad), bad.size()));
-  // ...and so is anything after a valid qos field.
+  // ...as is a non-boolean opt-out...
+  bad = payload;
+  bad.back() = 2;
+  EXPECT_FALSE(decode_request(bytes(bad), bad.size()));
+  // ...and so is anything after a valid opt-out field.
   EXPECT_FALSE(decode_request(bytes(payload + "\x00"), payload.size() + 1));
 }
 
@@ -117,12 +130,15 @@ TEST(ServeProtocol, TrailingBytesAndBadTagsAreRejected) {
   const std::string payload = encode_request(sample_request());
   // Trailing garbage after a complete request.
   EXPECT_FALSE(decode_request(bytes(payload + "x"), payload.size() + 1));
-  // Every truncation is rejected (no partial decode) — except the one cut
-  // that lands exactly on the pre-QoS wire shape, which decodes with the
-  // interactive default (see PreQosRequestsDecodeWithInteractiveDefault).
-  const std::size_t pre_qos_cut = payload.size() - 1;
+  // Every truncation is rejected (no partial decode) — except the two
+  // cuts that land exactly on an older complete wire shape: minus the
+  // opt-out varint (PR-8 QoS shape) and minus both trailing varints
+  // (pre-QoS shape), which decode with their documented defaults (see
+  // PreQosRequestsDecodeWithInteractiveDefault).
+  const std::size_t pre_optout_cut = payload.size() - 1;
+  const std::size_t pre_qos_cut = payload.size() - 2;
   for (std::size_t cut = 0; cut < payload.size(); ++cut) {
-    if (cut == pre_qos_cut) {
+    if (cut == pre_qos_cut || cut == pre_optout_cut) {
       EXPECT_TRUE(decode_request(bytes(payload), cut)) << "cut=" << cut;
     } else {
       EXPECT_FALSE(decode_request(bytes(payload), cut)) << "cut=" << cut;

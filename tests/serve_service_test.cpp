@@ -608,5 +608,42 @@ TEST(ServeService, ShutdownAndInfoAnswer) {
   EXPECT_TRUE(drv.service.shutdown_requested());
 }
 
+TEST(ServeService, CycleLeapingNeverChangesServedResults) {
+  // A leaping server changes cost, never results: a session under
+  // --cycle-jump on, a per-session wire opt-out pinning dense stepping,
+  // and a direct dense run must all land on one config hash. kOn on a
+  // stochastic backend is refused with a reason, not silently ignored.
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  opt.quantum = 8192;
+  opt.cycle_jump = sim::CycleJumpMode::kOn;
+  Driver drv(opt);
+  const std::uint64_t rounds = 500000;
+
+  const Reply& leaping = drv.call(create_req("rotor", "ring 96", 4));
+  ASSERT_EQ(leaping.status, Status::kOk);
+  const Reply& leaped = drv.call(step_req(leaping.session, rounds));
+  ASSERT_EQ(leaped.status, Status::kOk);
+  EXPECT_EQ(leaped.time, rounds);
+
+  Request opted = create_req("rotor", "ring 96", 4);
+  opted.no_cycle_jump = true;
+  const Reply& pinned = drv.call(opted);
+  ASSERT_EQ(pinned.status, Status::kOk);
+  const Reply& dense = drv.call(step_req(pinned.session, rounds));
+  ASSERT_EQ(dense.status, Status::kOk);
+  EXPECT_EQ(dense.time, rounds);
+
+  auto direct = direct_engine("rotor", "ring 96", 4);
+  direct->run(rounds);
+  EXPECT_EQ(leaped.config_hash, direct->config_hash());
+  EXPECT_EQ(dense.config_hash, direct->config_hash());
+
+  const Reply& refused = drv.call(create_req("walks", "ring 96", 4));
+  EXPECT_EQ(refused.status, Status::kError);
+  EXPECT_NE(refused.message.find("not deterministic"), std::string::npos)
+      << refused.message;
+}
+
 }  // namespace
 }  // namespace rr::serve
