@@ -36,6 +36,8 @@
 //
 // Exit code 0 on success, 2 on usage errors (so scripts can distinguish).
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +54,7 @@
 #include "core/rotor_router.hpp"
 #include "core/snapshot.hpp"
 #include "core/trace.hpp"
+#include "dist/coordinator.hpp"
 #include "graph/descriptor.hpp"
 #include "graph/generators.hpp"
 #include "graph/mmap_substrate.hpp"
@@ -85,6 +88,18 @@ struct Flags {
   // Steady-state cycle leaping (sim/cycle_jump.hpp): auto wraps
   // deterministic engines, on requires one, off steps densely.
   std::string cycle_jump = "auto";
+  // "on": persist a confirmed period as the checkpoint's cycle.hint
+  // field and adopt the hint when resuming (confirmation still re-runs,
+  // so resumed leaps stay exact). Off by default to keep checkpoint
+  // bytes identical to hint-unaware builds.
+  std::string cycle_hint = "off";
+  // Distributed stepping (--engine dist): worker count, spill batch, how
+  // to obtain workers (rr_noded path, "threads", or default sibling
+  // binary) and an optional AF_UNIX listen path for external workers.
+  std::uint32_t workers = 2;
+  std::uint64_t spill_batch = 256;
+  std::string noded;
+  std::string dist_socket;
 };
 
 bool parse_ckpt_format(const std::string& s, rr::sim::CkptFormat& format) {
@@ -137,6 +152,10 @@ int usage() {
                "       --checkpoint-every N --shards N --ckpt-format v1|v2\n"
                "       --cycle-jump on|off|auto (leap confirmed steady-state"
                " cycles; default auto)\n"
+               "       --cycle-hint on|off (persist/adopt confirmed periods"
+               " via checkpoint cycle.hint; default off)\n"
+               "       --engine dist: --workers N --spill-batch N"
+               " [--noded PATH|threads | --dist-socket PATH]\n"
                "  lockin: --topo ring|grid|torus|clique|hypercube|tree"
                " --size N\n"
                "  engines: list registered backends with substrate"
@@ -238,6 +257,28 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       const char* v = next("--out");
       if (!v) return false;
       f.out = v;
+    } else if (a == "--workers") {
+      std::uint64_t v64 = 0;
+      const char* v = next("--workers");
+      if (!v || !rr::parse_flag_u64_range("rr_cli", "--workers", v, 1,
+                                          ~std::uint32_t{0}, v64)) {
+        return false;
+      }
+      f.workers = static_cast<std::uint32_t>(v64);
+    } else if (a == "--spill-batch") {
+      const char* v = next("--spill-batch");
+      if (!v || !rr::parse_flag_u64_range("rr_cli", "--spill-batch", v, 1,
+                                          1u << 24, f.spill_batch)) {
+        return false;
+      }
+    } else if (a == "--noded") {
+      const char* v = next("--noded");
+      if (!v) return false;
+      f.noded = v;
+    } else if (a == "--dist-socket") {
+      const char* v = next("--dist-socket");
+      if (!v) return false;
+      f.dist_socket = v;
     } else if (a == "--cycle-jump") {
       const char* v = next("--cycle-jump");
       if (!v) return false;
@@ -249,6 +290,15 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
         return false;
       }
       f.cycle_jump = v;
+    } else if (a == "--cycle-hint") {
+      const char* v = next("--cycle-hint");
+      if (!v) return false;
+      if (std::string(v) != "on" && std::string(v) != "off") {
+        std::fprintf(stderr,
+                     "rr_cli: --cycle-hint must be on or off (got %s)\n", v);
+        return false;
+      }
+      f.cycle_hint = v;
     } else {
       std::fprintf(stderr, "rr_cli: unknown flag %s\n", a.c_str());
       return false;
@@ -317,6 +367,39 @@ std::vector<rr::graph::NodeId> spread_agents(rr::graph::NodeId n,
   return agents;
 }
 
+// Fills the dist-backend fields of an EngineConfig. For --engine dist
+// without --noded/--dist-socket, workers default to a fork/exec'd
+// rr_noded sitting next to this binary; --noded threads forces the
+// in-process transport instead (same protocol, zero setup).
+bool fill_dist_config(const Flags& f, rr::sim::EngineConfig& config) {
+  config.dist_workers = f.workers;
+  config.dist_spill_batch = f.spill_batch;
+  config.dist_socket = f.dist_socket;
+  if (f.engine != "dist" || !f.dist_socket.empty()) return true;
+  if (f.noded == "threads") return true;
+  if (!f.noded.empty()) {
+    config.dist_noded = f.noded;
+    return true;
+  }
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (len > 0) {
+    buf[len] = '\0';
+    std::string path(buf);
+    const auto slash = path.rfind('/');
+    path.resize(slash == std::string::npos ? 0 : slash + 1);
+    path += "rr_noded";
+    if (::access(path.c_str(), X_OK) == 0) {
+      config.dist_noded = path;
+      return true;
+    }
+  }
+  std::fprintf(stderr,
+               "rr_cli: cannot find rr_noded next to rr_cli; use "
+               "--noded PATH or --noded threads\n");
+  return false;
+}
+
 std::unique_ptr<rr::sim::Engine> build_engine(const Flags& f,
                                               const std::string& descriptor) {
   const auto& registry = rr::sim::EngineRegistry::instance();
@@ -343,6 +426,7 @@ std::unique_ptr<rr::sim::Engine> build_engine(const Flags& f,
   config.agents = spread_agents(*n, f.k);
   config.seed = f.seed;
   config.shards = f.shards;
+  if (!fill_dist_config(f, config)) return nullptr;
   std::string error;
   auto engine = registry.create(f.engine, *d, config, &error);
   if (!engine) std::fprintf(stderr, "rr_cli: %s\n", error.c_str());
@@ -375,6 +459,8 @@ int cmd_run(const Flags& f) {
 
   std::unique_ptr<rr::sim::Engine> engine;
   std::string descriptor;
+  rr::sim::CycleJumpOptions cj_options;
+  cj_options.persist_hint = f.cycle_hint == "on";
   if (!f.resume.empty()) {
     // Streaming parse: peak memory is one frame/field, so resuming an
     // out-of-core-sized checkpoint does not buffer the whole document.
@@ -383,6 +469,16 @@ int cmd_run(const Flags& f) {
       std::fprintf(stderr, "rr_cli: malformed checkpoint %s\n",
                    f.resume.c_str());
       return 2;
+    }
+    if (cj_options.persist_hint) {
+      // Adopt a persisted period: the wrapper skips probing and goes
+      // straight to confirmation, which re-proves the cycle before any
+      // leap (a stale hint is just a few wasted compare laps).
+      if (const auto hint_text = parsed->state.raw("cycle.hint")) {
+        if (const auto hint = rr::sim::decode_cycle_hint(*hint_text)) {
+          cj_options.hint_period = hint->period;
+        }
+      }
     }
     if (substrate) {
       if (parsed->engine != std::string("rotor-router")) {
@@ -412,6 +508,22 @@ int cmd_run(const Flags& f) {
       }
       substrate->advise_random();
       engine = std::move(rotor);
+    } else if (f.engine == "dist") {
+      // Resume *distributed*: the checkpoint is a plain rotor-router
+      // document (the field sets are interchangeable), restored through
+      // the dist spec so the workers come up scattered at the saved
+      // round — including with a different worker count than the run
+      // that wrote it.
+      const auto d = rr::graph::GraphDescriptor::parse(parsed->graph_descriptor);
+      rr::sim::EngineConfig config;
+      if (!d || !fill_dist_config(f, config)) return 2;
+      std::string error;
+      engine = rr::sim::EngineRegistry::instance().restore(
+          "dist", *d, parsed->state, config, &error);
+      if (!engine) {
+        std::fprintf(stderr, "rr_cli: %s\n", error.c_str());
+        return 2;
+      }
     } else {
       const auto* spec =
           rr::sim::EngineRegistry::instance().find(parsed->engine);
@@ -453,12 +565,17 @@ int cmd_run(const Flags& f) {
     engine = build_engine(f, descriptor);
     if (!engine) return 2;
   }
+  // Kept across the cycle-jump wrap so the halt check below still reaches
+  // the coordinator.
+  auto* dist_engine =
+      dynamic_cast<rr::core::DistributedRotorRouter*>(engine.get());
   // Wrap before arming auto-checkpoints: the wrapper schedules leaps and
   // dense chunks against its own checkpoint marks, so marks fire at the
   // exact rounds (and with the exact bytes) a dense run would produce.
   const auto cj_mode = rr::sim::cycle_jump_mode_from_name(f.cycle_jump);
   std::string cj_error;
-  engine = rr::sim::wrap_cycle_jump(std::move(engine), *cj_mode, {}, &cj_error);
+  engine = rr::sim::wrap_cycle_jump(std::move(engine), *cj_mode, cj_options,
+                                    &cj_error);
   if (!engine) {
     std::fprintf(stderr, "rr_cli: %s\n", cj_error.c_str());
     return 2;
@@ -474,6 +591,14 @@ int cmd_run(const Flags& f) {
   }
   const std::uint64_t rounds = f.rounds ? f.rounds : engine->num_nodes();
   engine->run(rounds);
+  if (dist_engine != nullptr && dist_engine->halted()) {
+    std::fprintf(stderr,
+                 "rr_cli: distributed run halted at t=%llu (a worker died); "
+                 "resume from the last periodic checkpoint with "
+                 "`rr_cli run --engine dist --resume FILE`\n",
+                 static_cast<unsigned long long>(dist_engine->time()));
+    return 1;
+  }
   std::printf("engine=%s graph='%s' t=%llu covered=%u/%u hash=%016llx\n",
               engine->engine_name(), descriptor.c_str(),
               static_cast<unsigned long long>(engine->time()),

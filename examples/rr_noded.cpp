@@ -1,0 +1,99 @@
+// rr_noded: distributed rotor-router worker process (dist layer).
+//
+//   rr_noded --dist-fd N                 serve an inherited socketpair fd
+//                                        (how the rr_cli coordinator
+//                                        fork/execs its workers)
+//   rr_noded --connect PATH              connect to a coordinator's
+//                                        --dist-socket AF_UNIX path
+//   [--fail-after-scans N]               fault-injection: drop the
+//                                        connection at the N-th kScan
+//                                        (crash-recovery test lanes)
+//
+// The process is one blocking worker_serve loop: it receives its shard
+// assignment in kInit and exits when the coordinator shuts down or the
+// socket closes. Exit code 0 on a clean shutdown/EOF, 1 on protocol
+// errors, 2 on usage errors or a rejected init (matching rr_cli's
+// usage-error convention).
+
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/parse.hpp"
+#include "dist/worker.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rr_noded [--dist-fd N | --connect PATH]"
+               " [--fail-after-scans N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t dist_fd = ~std::uint64_t{0};
+  std::string connect_path;
+  std::uint64_t fail_after = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rr_noded: %s needs a value\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--dist-fd") {
+      const char* v = next("--dist-fd");
+      // An fd is a small non-negative integer; 3 is the first value an
+      // inherited descriptor can land on after stdio.
+      if (!v || !rr::parse_flag_u64_range("rr_noded", "--dist-fd", v, 3,
+                                          1u << 20, dist_fd)) {
+        return 2;
+      }
+    } else if (a == "--connect") {
+      const char* v = next("--connect");
+      if (!v) return 2;
+      connect_path = v;
+    } else if (a == "--fail-after-scans") {
+      const char* v = next("--fail-after-scans");
+      if (!v || !rr::parse_flag_u64("rr_noded", "--fail-after-scans", v,
+                                    fail_after)) {
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "rr_noded: unknown flag %s\n", a.c_str());
+      return 2;
+    }
+  }
+  const bool have_fd = dist_fd != ~std::uint64_t{0};
+  if (have_fd == !connect_path.empty()) return usage();
+
+  int fd;
+  if (have_fd) {
+    fd = static_cast<int>(dist_fd);
+  } else {
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    if (connect_path.size() >= sizeof(sa.sun_path)) {
+      std::fprintf(stderr, "rr_noded: --connect path too long\n");
+      return 2;
+    }
+    std::memcpy(sa.sun_path, connect_path.c_str(), connect_path.size() + 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+      std::fprintf(stderr, "rr_noded: cannot connect to %s: %s\n",
+                   connect_path.c_str(), std::strerror(errno));
+      return 2;
+    }
+  }
+  return rr::dist::worker_serve(fd, fail_after);
+}

@@ -43,6 +43,7 @@
 #include <cstring>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/parse.hpp"
@@ -74,6 +75,14 @@ struct Flags {
   // serve: ServiceOptions::cycle_jump mode; drive: "off" opts every
   // created session out on the wire (Request::no_cycle_jump).
   std::string cycle_jump = "auto";
+  // serve: per-QoS-class overrides of --cycle-jump ("" = inherit).
+  // Background defaults to requiring leaping: that class is long-horizon
+  // work nobody is watching for latency, exactly where confirmed-cycle
+  // leaps pay — an operator serving stochastic background engines passes
+  // --cycle-jump-background auto (or off).
+  std::string cycle_jump_interactive;
+  std::string cycle_jump_batch;
+  std::string cycle_jump_background = "on";
   // drive
   std::uint64_t sessions = 4;
   std::uint64_t rounds = 256;
@@ -94,6 +103,8 @@ int usage() {
       "         --threads N --policy fifo|qos --quantum-interactive N\n"
       "         --quantum-batch N --quantum-background N --pump-rounds N\n"
       "         --max-queued-steps N --cycle-jump on|off|auto\n"
+      "         --cycle-jump-interactive|-batch|-background on|off|auto\n"
+      "           (per-class override; background defaults to on)\n"
       "  drive: --socket PATH --sessions N --rounds R --engine NAME\n"
       "         --graph DESC --k K --seed S\n"
       "         --qos interactive|batch|background\n"
@@ -113,6 +124,9 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       {"--policy", &f.policy},
       {"--qos", &f.qos},
       {"--cycle-jump", &f.cycle_jump},
+      {"--cycle-jump-interactive", &f.cycle_jump_interactive},
+      {"--cycle-jump-batch", &f.cycle_jump_batch},
+      {"--cycle-jump-background", &f.cycle_jump_background},
   };
   std::unordered_map<std::string, std::uint64_t*> nums = {
       {"--max-sessions", &f.max_sessions},
@@ -176,6 +190,19 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
                          "auto (got '%s')\n",
                  f.cycle_jump.c_str());
     return false;
+  }
+  const std::pair<const char*, const std::string*> class_modes[] = {
+      {"--cycle-jump-interactive", &f.cycle_jump_interactive},
+      {"--cycle-jump-batch", &f.cycle_jump_batch},
+      {"--cycle-jump-background", &f.cycle_jump_background},
+  };
+  for (const auto& [flag, value] : class_modes) {
+    if (!value->empty() && !rr::sim::cycle_jump_mode_from_name(*value)) {
+      std::fprintf(stderr, "rr_serverd: %s must be one of on, off, auto "
+                           "(got '%s')\n",
+                   flag, value->c_str());
+      return false;
+    }
   }
   return true;
 }
@@ -258,6 +285,17 @@ int cmd_serve(const Flags& f) {
   opt.auto_checkpoint_every = f.checkpoint_every;
   opt.ckpt_dir = f.ckpt_dir;
   opt.cycle_jump = *rr::sim::cycle_jump_mode_from_name(f.cycle_jump);
+  const std::pair<const std::string*, rr::serve::QosClass> class_modes[] = {
+      {&f.cycle_jump_interactive, rr::serve::QosClass::kInteractive},
+      {&f.cycle_jump_batch, rr::serve::QosClass::kBatch},
+      {&f.cycle_jump_background, rr::serve::QosClass::kBackground},
+  };
+  for (const auto& [value, cls] : class_modes) {
+    if (!value->empty()) {
+      opt.cycle_jump_class[static_cast<std::size_t>(cls)] =
+          *rr::sim::cycle_jump_mode_from_name(*value);
+    }
+  }
   opt.pool = &pool;
   rr::serve::SessionService service(opt);
 

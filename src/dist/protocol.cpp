@@ -1,0 +1,130 @@
+#include "dist/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace rr::dist {
+
+namespace {
+
+using sim::wire::get_varint;
+using sim::wire::put_varint;
+
+bool valid_kind(std::uint8_t k) {
+  return k >= static_cast<std::uint8_t>(MsgKind::kInit) &&
+         k <= static_cast<std::uint8_t>(MsgKind::kShutdown);
+}
+
+}  // namespace
+
+std::string encode_msg(const DistMsg& m) {
+  std::string out;
+  out.push_back(static_cast<char>(m.kind));
+  put_varint(out, m.round);
+  put_varint(out, m.shard);
+  put_varint(out, m.value);
+  put_varint(out, m.value2);
+  put_varint(out, m.pairs.size());
+  for (const auto& [a, b] : m.pairs) {
+    put_varint(out, a);
+    put_varint(out, b);
+  }
+  put_varint(out, m.lists.size());
+  for (const auto& list : m.lists) {
+    put_varint(out, list.size());
+    for (std::uint64_t v : list) put_varint(out, v);
+  }
+  put_varint(out, m.text.size());
+  out.append(m.text);
+  return out;
+}
+
+std::optional<DistMsg> decode_msg(const std::uint8_t* data, std::size_t size) {
+  DistMsg m;
+  std::size_t pos = 0;
+  if (size == 0 || !valid_kind(data[0])) return std::nullopt;
+  m.kind = static_cast<MsgKind>(data[pos++]);
+  const auto round = get_varint(data, size, &pos);
+  const auto shard = get_varint(data, size, &pos);
+  const auto value = get_varint(data, size, &pos);
+  const auto value2 = get_varint(data, size, &pos);
+  if (!round || !shard || !value || !value2) return std::nullopt;
+  m.round = *round;
+  m.shard = *shard;
+  m.value = *value;
+  m.value2 = *value2;
+  // Every element below costs >= 1 payload byte, so bounding counts by
+  // the bytes remaining makes a crafted count harmless: the reserve can
+  // never exceed the frame's own size (same rule as the ckpt decoders).
+  const auto npairs = get_varint(data, size, &pos);
+  if (!npairs || *npairs > (size - pos) / 2 + 1) return std::nullopt;
+  m.pairs.reserve(static_cast<std::size_t>(*npairs));
+  for (std::uint64_t i = 0; i < *npairs; ++i) {
+    const auto a = get_varint(data, size, &pos);
+    const auto b = get_varint(data, size, &pos);
+    if (!a || !b) return std::nullopt;
+    m.pairs.emplace_back(*a, *b);
+  }
+  const auto nlists = get_varint(data, size, &pos);
+  if (!nlists || *nlists > size - pos) return std::nullopt;
+  m.lists.reserve(static_cast<std::size_t>(*nlists));
+  for (std::uint64_t i = 0; i < *nlists; ++i) {
+    const auto len = get_varint(data, size, &pos);
+    if (!len || *len > size - pos) return std::nullopt;
+    std::vector<std::uint64_t> list;
+    list.reserve(static_cast<std::size_t>(*len));
+    for (std::uint64_t j = 0; j < *len; ++j) {
+      const auto v = get_varint(data, size, &pos);
+      if (!v) return std::nullopt;
+      list.push_back(*v);
+    }
+    m.lists.push_back(std::move(list));
+  }
+  const auto text_len = get_varint(data, size, &pos);
+  if (!text_len || *text_len > size - pos) return std::nullopt;
+  m.text.assign(reinterpret_cast<const char*>(data + pos),
+                static_cast<std::size_t>(*text_len));
+  pos += static_cast<std::size_t>(*text_len);
+  if (pos != size) return std::nullopt;  // trailing bytes -> malformed
+  return m;
+}
+
+bool send_msg(int fd, const DistMsg& m) {
+  const std::string frame = encode_frame(encode_msg(m));
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+#if defined(MSG_NOSIGNAL)
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<DistMsg> recv_msg(int fd, FrameDecoder& dec) {
+  while (true) {
+    if (auto payload = dec.next()) {
+      return decode_msg(*payload);
+    }
+    if (dec.fatal()) return std::nullopt;
+    std::uint8_t buf[1 << 16];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (n == 0) return std::nullopt;  // peer closed
+    dec.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace rr::dist

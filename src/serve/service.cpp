@@ -58,6 +58,20 @@ std::string SessionService::evict_path(std::uint64_t id) const {
   return opt_.ckpt_dir + "/rr-session-" + std::to_string(id) + ".ckpt";
 }
 
+sim::CycleJumpMode SessionService::cycle_jump_mode_for(
+    QosClass qos, bool no_cycle_jump) const {
+  if (no_cycle_jump) return sim::CycleJumpMode::kOff;
+  const auto& cls = opt_.cycle_jump_class[qos_index(qos)];
+  return cls ? *cls : opt_.cycle_jump;
+}
+
+void SessionService::note_cycle_jump_wrap(QosClass qos,
+                                          const sim::Engine& engine) {
+  if (dynamic_cast<const sim::CycleJumpEngine*>(&engine) != nullptr) {
+    ++stats_.qos[qos_index(qos)].cj_wrapped;
+  }
+}
+
 void SessionService::refresh_summary(Session& s) {
   if (!s.engine) return;
   s.time = s.engine->time();
@@ -126,10 +140,10 @@ bool SessionService::rehydrate(Session& s) {
   // kAuto here — the requirement was enforced at create, and kAuto can
   // never fail, so a rehydration degrades to dense stepping rather than
   // losing the session.
-  sim::CycleJumpMode mode =
-      s.no_cycle_jump ? sim::CycleJumpMode::kOff : opt_.cycle_jump;
+  sim::CycleJumpMode mode = cycle_jump_mode_for(s.qos, s.no_cycle_jump);
   if (mode == sim::CycleJumpMode::kOn) mode = sim::CycleJumpMode::kAuto;
   s.engine = sim::wrap_cycle_jump(std::move(engine), mode);
+  note_cycle_jump_wrap(s.qos, *s.engine);
   s.idle_pumps = 0;
   arm_auto_checkpoint(s);
   refresh_summary(s);
@@ -361,23 +375,26 @@ void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
         s.descriptor = parsed->graph_descriptor;
       }
       s.no_cycle_jump = req->no_cycle_jump;
+      s.qos = req->qos;
       {
         // Wrap before arming auto-checkpoints so leap scheduling honors
         // the checkpoint marks; the wrapper forwards every observable and
         // serializes the inner state, so summaries, snapshots and
-        // evictions are unchanged.
+        // evictions are unchanged. The mode resolves per QoS class: a
+        // class-level kOn keeps its strict meaning (a non-deterministic
+        // create in that class is an error the client must opt out of
+        // with no_cycle_jump or a different class).
         std::string cj_error;
         s.engine = sim::wrap_cycle_jump(
             std::move(s.engine),
-            s.no_cycle_jump ? sim::CycleJumpMode::kOff : opt_.cycle_jump, {},
-            &cj_error);
+            cycle_jump_mode_for(s.qos, s.no_cycle_jump), {}, &cj_error);
         if (!s.engine) {
           emit(out, conn, error_reply(req->id, cj_error.c_str()));
           return;
         }
+        note_cycle_jump_wrap(s.qos, *s.engine);
       }
       s.id = next_id_++;
-      s.qos = req->qos;
       s.engine_name = s.engine->engine_name();
       s.ckpt_every =
           req->every != 0 ? req->every : opt_.auto_checkpoint_every;
@@ -537,7 +554,7 @@ void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
         std::snprintf(
             buf, sizeof buf,
             " qos[%s]={steps=%llu rounds=%llu waits=%llu busy=%llu "
-            "evictions=%llu rehydrations=%llu deferred=%llu}",
+            "evictions=%llu rehydrations=%llu deferred=%llu cj=%llu}",
             qos_class_name(static_cast<QosClass>(c)),
             static_cast<unsigned long long>(q.step_requests),
             static_cast<unsigned long long>(q.rounds_scheduled),
@@ -545,7 +562,8 @@ void SessionService::handle(std::uint64_t conn, const std::uint8_t* payload,
             static_cast<unsigned long long>(q.busy_replies),
             static_cast<unsigned long long>(q.evictions),
             static_cast<unsigned long long>(q.rehydrations),
-            static_cast<unsigned long long>(q.rehydrations_deferred));
+            static_cast<unsigned long long>(q.rehydrations_deferred),
+            static_cast<unsigned long long>(q.cj_wrapped));
         rep.message += buf;
       }
       emit(out, conn, rep);

@@ -118,6 +118,14 @@ struct ServiceOptions {
   /// quantum, never its result, so served trajectories stay bit-identical
   /// under every mode.
   sim::CycleJumpMode cycle_jump = sim::CycleJumpMode::kAuto;
+  /// Per-QoS-class override of `cycle_jump`, indexed by QosClass value
+  /// (rr_serverd's --cycle-jump-interactive/-batch/-background flags).
+  /// Unset classes inherit `cycle_jump`. The wire opt-out still wins:
+  /// a session created with no_cycle_jump never leaps whatever its
+  /// class says. Background work is where leaping pays (long horizons,
+  /// nobody watching the latency), which is why the daemon defaults
+  /// that class to kOn.
+  std::optional<sim::CycleJumpMode> cycle_jump_class[kNumQosClasses];
   std::string ckpt_dir = "/tmp";  ///< eviction / auto-checkpoint files
   sim::ThreadPool* pool = nullptr;  ///< shared pool (stepping + ckpt codec)
 };
@@ -131,6 +139,7 @@ struct QosClassStats {
   std::uint64_t evictions = 0;
   std::uint64_t rehydrations = 0;
   std::uint64_t rehydrations_deferred = 0;  ///< step queued on evicted session
+  std::uint64_t cj_wrapped = 0;  ///< engines wrapped for cycle leaping
 };
 
 struct ServiceStats {
@@ -239,6 +248,12 @@ class SessionService {
   };
 
   std::string evict_path(std::uint64_t id) const;
+  /// The cycle-jump mode for a session: wire opt-out first, then the
+  /// class override, then the global mode.
+  sim::CycleJumpMode cycle_jump_mode_for(QosClass qos,
+                                         bool no_cycle_jump) const;
+  /// Counts a completed wrap decision for the class (kInfo observability).
+  void note_cycle_jump_wrap(QosClass qos, const sim::Engine& engine);
   void refresh_summary(Session& s);
   Reply summary_reply(const Session& s, std::uint64_t req_id,
                       Status status = Status::kOk) const;

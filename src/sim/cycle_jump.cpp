@@ -301,12 +301,118 @@ bool generic_leap(StateIO& io, const std::vector<AccumulatorDelta>& deltas,
   // own serialize round-trips by the checkpoint contract) and report
   // failure so the caller falls back to dense stepping.
   auto pristine_reader = StateReader::from_fields(std::move(pristine));
-  RR_REQUIRE(pristine_reader && io.deserialize_state(*pristine_reader),
-             "cycle-jump: state restore after rejected leap failed");
+  RR_REQUIRE(pristine_reader != std::nullopt,
+             "cycle-jump: pristine state failed to re-parse");
+  if (!io.deserialize_state(*pristine_reader)) {
+    // Both restores rejected. A healthy engine round-trips its own
+    // serialize output, so this is an engine refusing *all* state — a
+    // distributed backend whose workers died mid-run rejects every
+    // scatter. Failed deserializes leave engine state untouched, so the
+    // pre-leap configuration is still in place; report failure and let
+    // the wrapper abandon leaping (dense stepping, or the backend's own
+    // halt handling, takes over).
+    return false;
+  }
   return false;
 }
 
+/// Leading-u64 parser for the hint codec: consumes [0-9]+ off the front
+/// of `s`; false on empty, non-digit start, or overflow (total parsing —
+/// hints come from checkpoint files).
+bool parse_u64_prefix(std::string_view& s, std::uint64_t& out) {
+  if (s.empty() || s[0] < '0' || s[0] > '9') return false;
+  std::uint64_t v = 0;
+  std::size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(s[i] - '0');
+    if (v > (~std::uint64_t{0} - digit) / 10) return false;
+    v = v * 10 + digit;
+    ++i;
+  }
+  s.remove_prefix(i);
+  out = v;
+  return true;
+}
+
 }  // namespace
+
+// ---- persisted cycle hints ----
+
+std::string encode_cycle_hint(std::uint64_t period,
+                              const std::vector<AccumulatorDelta>& deltas) {
+  if (period == 0) return std::string();
+  for (const AccumulatorDelta& d : deltas) {
+    if (d.key.empty()) return std::string();
+    for (const char c : d.key) {
+      if (c == ';' || c == '=' || c == '\n' || c == '\r') return std::string();
+    }
+  }
+  std::string out = "v1 p=" + std::to_string(period);
+  for (const AccumulatorDelta& d : deltas) {
+    out += ';';
+    out += d.key;
+    out += '=';
+    if (d.scalar) {
+      out += "s:";
+      out += std::to_string(d.scalar_delta);
+    } else {
+      out += "r:";
+      for (std::size_t i = 0; i < d.runs.size(); ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(d.runs[i].len);
+        out += 'x';
+        out += std::to_string(d.runs[i].delta);
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<CycleHint> decode_cycle_hint(std::string_view text) {
+  const auto eat = [&text](std::string_view prefix) {
+    if (text.substr(0, prefix.size()) != prefix) return false;
+    text.remove_prefix(prefix.size());
+    return true;
+  };
+  CycleHint hint;
+  if (!eat("v1 p=")) return std::nullopt;
+  if (!parse_u64_prefix(text, hint.period) || hint.period == 0) {
+    return std::nullopt;
+  }
+  while (!text.empty()) {
+    if (text[0] != ';') return std::nullopt;
+    text.remove_prefix(1);
+    const std::size_t eq = text.find('=');
+    if (eq == 0 || eq == std::string_view::npos) return std::nullopt;
+    AccumulatorDelta d;
+    d.key = std::string(text.substr(0, eq));
+    text.remove_prefix(eq + 1);
+    if (eat("s:")) {
+      d.scalar = true;
+      if (!parse_u64_prefix(text, d.scalar_delta)) return std::nullopt;
+    } else if (eat("r:")) {
+      // An empty run list (zero-length accumulator list) is legal.
+      while (!text.empty() && text[0] != ';') {
+        if (!d.runs.empty()) {
+          if (text[0] != ',') return std::nullopt;
+          text.remove_prefix(1);
+        }
+        DeltaRun run;
+        if (!parse_u64_prefix(text, run.len) || run.len == 0) {
+          return std::nullopt;
+        }
+        if (text.empty() || text[0] != 'x') return std::nullopt;
+        text.remove_prefix(1);
+        if (!parse_u64_prefix(text, run.delta)) return std::nullopt;
+        d.runs.push_back(run);
+      }
+    } else {
+      return std::nullopt;
+    }
+    hint.deltas.push_back(std::move(d));
+  }
+  return hint;
+}
 
 // ---- exact stride-1 detector ----
 
@@ -387,6 +493,22 @@ CycleJumpEngine::CycleJumpEngine(std::unique_ptr<Engine> inner,
   opt_.samples_per_generation =
       std::max<std::uint64_t>(1, opt_.samples_per_generation);
   invalidate();
+  if (opt_.hint_period > 0) {
+    // A persisted hint from a prior confirmed run (checkpoint
+    // cycle.hint): skip probing and enter confirmation directly at the
+    // hinted period. Soundness is unchanged — the full rigid-state
+    // compare and delta re-extraction still gate every leap, so a wrong
+    // hint burns at most max_confirm_laps compare laps before falling
+    // back to ordinary probing.
+    ++stats_.candidates;
+    candidate_ = opt_.hint_period;
+    confirm_at_ = inner_->time() + candidate_;
+    laps_ = 0;
+    detector_ = std::make_unique<Detector>();
+    detector_->baseline = capture_image(*inner_io_, accumulators_);
+    detector_->matched_once = false;
+    phase_ = Phase::kConfirming;
+  }
 }
 
 CycleJumpEngine::~CycleJumpEngine() = default;
@@ -523,7 +645,14 @@ std::uint64_t CycleJumpEngine::dense_chunk(std::uint64_t rounds) {
       continue;
     }
     const std::uint64_t sub = std::min(rounds - consumed, to_event);
+    const std::uint64_t before = inner_->time();
     inner_->run(sub);  // inner never has auto-checkpoints armed
+    if (inner_->time() == before) {
+      // The inner engine refused to advance (a halted distributed
+      // backend no-ops its run). Claim the whole request so every
+      // caller terminates instead of spinning on a frozen clock.
+      return rounds;
+    }
     consumed += sub;
   }
   if (rounds_to_next_event() == 0) on_event();
@@ -609,8 +738,10 @@ std::uint64_t CycleJumpEngine::run_until_covered(std::uint64_t max_rounds) {
         if (phase_ == Phase::kConfirmed) fire_auto_checkpoint_if_due();
         continue;
       }
+      const std::uint64_t before = inner_->time();
       inner_->run(chunk);
       fire_auto_checkpoint_if_due();
+      if (inner_->time() == before) return kNotCovered;  // inner stalled
       continue;
     }
     // Pre-confirmation: chunk through the inner engine's own cover-aware
@@ -622,16 +753,27 @@ std::uint64_t CycleJumpEngine::run_until_covered(std::uint64_t max_rounds) {
       continue;
     }
     const std::uint64_t sub = std::min(chunk, to_event);
+    const std::uint64_t before = inner_->time();
     const std::uint64_t covered_at =
         inner_->run_until_covered(inner_->time() + sub);
     fire_auto_checkpoint_if_due();
     if (covered_at != kNotCovered) return covered_at;
+    if (inner_->time() == before) {
+      // A halted backend freezes its clock; give up rather than loop
+      // forever on a trajectory that can no longer move.
+      return kNotCovered;
+    }
   }
   return kNotCovered;
 }
 
 void CycleJumpEngine::serialize_state(StateWriter& out) const {
   inner_io_->serialize_state(out);
+  if (opt_.persist_hint && phase_ == Phase::kConfirmed) {
+    // Appended after every inner field so readers without hint support
+    // see a byte-identical prefix and drop the one unknown key.
+    out.field("cycle.hint", encode_cycle_hint(period_, deltas_));
+  }
 }
 
 bool CycleJumpEngine::deserialize_state(const StateReader& in) {

@@ -99,6 +99,20 @@ struct CycleJumpOptions {
   /// Sliding-baseline confirmation laps per candidate (first-visit or
   /// accumulator settling consumes at most one).
   std::uint32_t max_confirm_laps = 4;
+  /// Append the confirmed (period, deltas) to serialized state as the
+  /// raw "cycle.hint" field (see CycleHint). Off by default: hinted
+  /// checkpoints are a deliberate opt-in because the extra trailing
+  /// field breaks byte-identity with dense-run checkpoints. Readers
+  /// that predate the field ignore the unknown key, so hinted files
+  /// stay loadable everywhere.
+  bool persist_hint = false;
+  /// Non-zero: adopt a previously confirmed period (a checkpoint's
+  /// decoded cycle.hint) — the wrapper skips Brent probing and enters
+  /// confirmation directly at this candidate. Confirmation and delta
+  /// re-extraction still run in full, so a stale or adversarial hint
+  /// costs at most max_confirm_laps wasted compare laps, never a wrong
+  /// leap.
+  std::uint64_t hint_period = 0;
 };
 
 struct CycleJumpStats {
@@ -164,6 +178,34 @@ struct AccumulatorDelta {
   std::vector<DeltaRun> runs;      ///< list fields, runs cover the list
 };
 
+/// A confirmed cycle as persisted in checkpoints: the "cycle.hint" raw
+/// field CycleJumpEngine appends when CycleJumpOptions::persist_hint is
+/// set. Text format (newline-free, so it is a legal v1 raw value):
+///
+///   v1 p=<period>;<key>=s:<delta>;<key>=r:<len>x<delta>,<len>x<delta>
+///
+/// with u64 decimal numbers throughout (deltas are mod-2^64 per-cycle
+/// increments; run lists cover the accumulator list left to right). The
+/// hint is advisory: a resuming wrapper feeds the period back through
+/// full confirmation (CycleJumpOptions::hint_period) rather than
+/// trusting the deltas, so a corrupted hint can never corrupt a run.
+struct CycleHint {
+  std::uint64_t period = 0;
+  std::vector<AccumulatorDelta> deltas;
+};
+
+/// Renders a hint in the cycle.hint text format. Keys must not contain
+/// ';', '=', or line breaks (registry accumulator keys never do); a
+/// violating key or a zero period yields "" (no hint).
+std::string encode_cycle_hint(std::uint64_t period,
+                              const std::vector<AccumulatorDelta>& deltas);
+
+/// Total parser for the cycle.hint field: nullopt on any malformed
+/// input (wrong version tag, junk numbers, trailing bytes). Hints
+/// arrive from checkpoint files and are never trusted beyond what
+/// confirmation re-proves.
+std::optional<CycleHint> decode_cycle_hint(std::string_view text);
+
 /// Optional fast-leap hook. Engines that implement it apply a confirmed
 /// leap by patching their own counters in place (O(n), no serialize /
 /// reparse round-trip). `apply_cycle_leap` must be atomic: validate every
@@ -198,9 +240,10 @@ std::optional<ConfirmedCycle> detect_confirmed_cycle(
 /// (time, visits, config_hash, engine_name, serialized state) forwards to
 /// the inner engine, so checkpoints written through the wrapper are
 /// byte-identical to dense-run checkpoints and restore as the inner
-/// engine type. Delayed rounds perturb the orbit, so step_delayed
-/// invalidates any detection state and restarts probing; deserialize
-/// does too.
+/// engine type (opting into persist_hint appends the one extra
+/// "cycle.hint" trailing field, which old readers skip). Delayed rounds
+/// perturb the orbit, so step_delayed invalidates any detection state
+/// and restarts probing; deserialize does too.
 class CycleJumpEngine final : public Engine, public StateIO {
  public:
   /// `accumulators` per the EngineSpec::cycle_accumulators contract.

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -249,6 +250,126 @@ TEST(CycleJump, RunUntilCoveredLandsOnTheDenseCoverRound) {
   EXPECT_EQ(dense_cover, leap_cover);
   const Mismatch m = compare_engines(*dense, *leap);
   ASSERT_TRUE(m.ok) << "round " << m.round << ": " << m.detail;
+}
+
+// ---- persisted cycle hints ----
+
+/// The wrapper's serialized hint field, if present (what a hinted
+/// checkpoint carries).
+std::optional<std::string> hint_field(const sim::CycleJumpEngine& e) {
+  sim::StateWriter w;
+  e.serialize_state(w);
+  for (const sim::WriterField& f : w.fields()) {
+    if (f.key == "cycle.hint" && f.kind == sim::WriterField::Kind::kRaw) {
+      return f.raw;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(CycleHint, CodecRoundTripsAndRejectsMalformedInput) {
+  std::vector<sim::AccumulatorDelta> deltas(3);
+  deltas[0].key = "time";
+  deltas[0].scalar = true;
+  deltas[0].scalar_delta = 192;
+  deltas[1].key = "visits";
+  deltas[1].runs = {{5, 48}, {0, 1}, {~std::uint64_t{0}, 3}};
+  deltas[2].key = "empty";  // zero-length accumulator list
+  const std::string text = sim::encode_cycle_hint(192, deltas);
+  EXPECT_EQ(text,
+            "v1 p=192;time=s:192;visits=r:48x5,1x0,3x18446744073709551615;"
+            "empty=r:");
+  const auto hint = sim::decode_cycle_hint(text);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(hint->period, 192u);
+  ASSERT_EQ(hint->deltas.size(), 3u);
+  EXPECT_EQ(sim::encode_cycle_hint(hint->period, hint->deltas), text);
+  // Unencodable inputs yield "" (no hint), never a malformed hint.
+  EXPECT_EQ(sim::encode_cycle_hint(0, deltas), "");
+  deltas[0].key = "ti;me";
+  EXPECT_EQ(sim::encode_cycle_hint(192, deltas), "");
+  // The parser is total: every malformed shape is a clean nullopt.
+  for (const char* bad :
+       {"", "v2 p=1", "v1 p=", "v1 p=0", "v1 p=1x", "v1 p=1;",
+        "v1 p=1;=s:1", "v1 p=1;k", "v1 p=1;k=q:1", "v1 p=1;k=s:",
+        "v1 p=1;k=s:1;", "v1 p=1;k=r:0x1", "v1 p=1;k=r:1x",
+        "v1 p=1;k=r:1x2,", "v1 p=1;k=r:1x2 ", "v1 p=99999999999999999999",
+        "v1 p=1;k=s:1junk"}) {
+    EXPECT_FALSE(sim::decode_cycle_hint(bad).has_value()) << "'" << bad << "'";
+  }
+}
+
+TEST(CycleHint, ResumeThenLeapIsByteIdenticalToDetectThenLeap) {
+  // The satellite gate: a wrapper resumed from a hinted checkpoint —
+  // skipping Brent probing entirely — must land on checkpoints byte-
+  // identical to the uninterrupted detect-then-leap run, hint included.
+  const Backend b = deterministic_backends()[1];  // rotor on torus 6x8
+  sim::CycleJumpOptions opt = fast_detect();
+  opt.persist_hint = true;
+  auto dense = b.make();
+  sim::CycleJumpEngine detect(b.make(), b.accumulators, opt);
+  dense->run(300000);
+  detect.run(300000);
+  ASSERT_TRUE(detect.stats().confirmed);
+  const auto hint_text = hint_field(detect);
+  ASSERT_TRUE(hint_text.has_value());
+  const auto hint = sim::decode_cycle_hint(*hint_text);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(hint->period, detect.stats().period);
+  // A hinted document still restores everywhere: the extra trailing key
+  // is unknown to the rotor restore path and ignored.
+  const std::string hinted_doc = v2_doc(detect, b.descriptor);
+  std::unique_ptr<sim::Engine> restored = sim::restore_checkpoint(hinted_doc);
+  ASSERT_NE(restored, nullptr);
+  {
+    const Mismatch m = compare_engines(*dense, *restored);
+    ASSERT_TRUE(m.ok) << "hinted doc restore: " << m.detail;
+  }
+  // Resume with the hint adopted: no probing, straight to confirmation.
+  sim::CycleJumpOptions resume_opt = opt;
+  resume_opt.hint_period = hint->period;
+  sim::CycleJumpEngine resumed(std::move(restored), b.accumulators,
+                               resume_opt);
+  dense->run(700001);
+  detect.run(700001);
+  resumed.run(700001);
+  EXPECT_EQ(resumed.stats().samples, 0u);  // probing never ran
+  EXPECT_GE(resumed.stats().leaps, 1u);
+  EXPECT_EQ(resumed.stats().period, detect.stats().period);
+  const Mismatch m = compare_engines(*dense, resumed);
+  ASSERT_TRUE(m.ok) << "round " << m.round << ": " << m.detail;
+  ASSERT_EQ(v2_doc(detect, b.descriptor), v2_doc(resumed, b.descriptor));
+}
+
+TEST(CycleHint, WrongHintIsRejectedByConfirmationAndStaysExact) {
+  // An adversarial or stale hint must cost laps, never correctness: the
+  // hinted candidate fails rigid confirmation and the wrapper falls back
+  // to ordinary probing.
+  const Backend b = deterministic_backends()[0];  // rotor on ring 48
+  sim::CycleJumpOptions opt = fast_detect();
+  opt.hint_period = 7;  // not a period multiple of anything here
+  auto dense = b.make();
+  sim::CycleJumpEngine leap(b.make(), b.accumulators, opt);
+  dense->run(300000);
+  leap.run(300000);
+  const Mismatch m = compare_engines(*dense, leap);
+  ASSERT_TRUE(m.ok) << "round " << m.round << ": " << m.detail;
+  EXPECT_EQ(v2_doc(*dense, b.descriptor), v2_doc(leap, b.descriptor));
+  EXPECT_GE(leap.stats().rejects, 1u);   // the bogus hint died
+  EXPECT_TRUE(leap.stats().confirmed);   // probing still found the real one
+  EXPECT_GE(leap.stats().leaps, 1u);
+}
+
+TEST(CycleHint, HintOffKeepsCheckpointBytesIdenticalToDense) {
+  // persist_hint off (the default) must not change a single byte.
+  const Backend b = deterministic_backends()[0];
+  auto dense = b.make();
+  auto leap = wrap(b);
+  dense->run(300000);
+  leap->run(300000);
+  ASSERT_TRUE(leap->stats().confirmed);
+  EXPECT_FALSE(hint_field(*leap).has_value());
+  EXPECT_EQ(v2_doc(*dense, b.descriptor), v2_doc(*leap, b.descriptor));
 }
 
 // ---- forced-hash-collision lane ----

@@ -16,9 +16,9 @@
 namespace rr::sim {
 namespace {
 
-TEST(EngineRegistry, ListsAllSevenBackendViews) {
+TEST(EngineRegistry, ListsAllSevenBackendSpecs) {
   const auto specs = EngineRegistry::instance().list();
-  ASSERT_EQ(specs.size(), 6u);  // sharded rides on "rotor" via --shards
+  ASSERT_EQ(specs.size(), 7u);  // sharded rides on "rotor" via --shards
   std::set<std::string> names, engine_names;
   bool any_shards = false;
   for (const auto* spec : specs) {
@@ -28,13 +28,28 @@ TEST(EngineRegistry, ListsAllSevenBackendViews) {
     engine_names.insert(spec->engine_name);
     any_shards = any_shards || spec->supports_shards;
   }
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 7u);
+  // "dist" deliberately shares "rotor-router" (interchangeable
+  // checkpoints), so unique engine_names stay one behind the spec count.
   EXPECT_EQ(engine_names.size(), 6u);
   EXPECT_TRUE(any_shards);
   for (const char* name : {"rotor", "ring", "lazy", "walks", "eulerian",
-                           "ode"}) {
+                           "ode", "dist"}) {
     EXPECT_TRUE(names.count(name)) << name;
   }
+}
+
+TEST(EngineRegistry, SharedEngineNameResolvesToTheFirstRegistration) {
+  // find() is first-match over both key spaces: "rotor-router" must keep
+  // resolving to the sequential "rotor" spec (which owns checkpoint
+  // restores), while the distributed spec stays reachable by CLI key.
+  const auto& r = EngineRegistry::instance();
+  ASSERT_NE(r.find("dist"), nullptr);
+  EXPECT_EQ(r.find("dist")->engine_name, "rotor-router");
+  EXPECT_TRUE(r.find("dist")->shares_engine_name);
+  EXPECT_TRUE(r.find("dist")->deterministic);
+  EXPECT_EQ(r.find("rotor-router"), r.find("rotor"));
+  EXPECT_NE(r.find("rotor-router"), r.find("dist"));
 }
 
 TEST(EngineRegistry, FindMatchesCliKeyAndEngineName) {

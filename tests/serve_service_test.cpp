@@ -645,5 +645,63 @@ TEST(ServeService, CycleLeapingNeverChangesServedResults) {
       << refused.message;
 }
 
+TEST(ServeService, PerClassCycleJumpOverridesResolveAndCountWraps) {
+  // Class-level overrides layer under the wire opt-out: a kOn override on
+  // the background class makes background creates strict (stochastic
+  // backends refused, deterministic ones wrapped and counted in
+  // cj_wrapped) while other classes keep the service-wide default, and
+  // no_cycle_jump still pins any session dense. Results stay bit-equal.
+  ServiceOptions opt;
+  opt.ckpt_dir = test_dir();
+  opt.quantum = 8192;
+  opt.cycle_jump = sim::CycleJumpMode::kOff;
+  opt.cycle_jump_class[static_cast<std::size_t>(QosClass::kBackground)] =
+      sim::CycleJumpMode::kOn;
+  Driver drv(opt);
+  const auto cls = [](QosClass qos) { return static_cast<std::size_t>(qos); };
+
+  // Background is strict: stochastic creates are refused with a reason.
+  Request bg_walks = create_req("walks", "ring 96", 4);
+  bg_walks.qos = QosClass::kBackground;
+  const Reply& refused = drv.call(bg_walks);
+  EXPECT_EQ(refused.status, Status::kError);
+  EXPECT_NE(refused.message.find("not deterministic"), std::string::npos);
+
+  // ...but the wire opt-out outranks the class override.
+  Request bg_opted = create_req("walks", "ring 96", 4);
+  bg_opted.qos = QosClass::kBackground;
+  bg_opted.no_cycle_jump = true;
+  EXPECT_EQ(drv.call(bg_opted).status, Status::kOk);
+
+  // Other classes keep the service-wide kOff default.
+  Request batch_walks = create_req("walks", "ring 96", 4);
+  batch_walks.qos = QosClass::kBatch;
+  EXPECT_EQ(drv.call(batch_walks).status, Status::kOk);
+
+  // A deterministic background session is wrapped (counted) and leaps to
+  // the same configuration a direct dense run reaches.
+  Request bg_rotor = create_req("rotor", "ring 96", 4);
+  bg_rotor.qos = QosClass::kBackground;
+  const Reply& wrapped = drv.call(bg_rotor);
+  ASSERT_EQ(wrapped.status, Status::kOk);
+  const std::uint64_t rounds = 500000;
+  const Reply& leaped = drv.call(step_req(wrapped.session, rounds));
+  ASSERT_EQ(leaped.status, Status::kOk);
+  auto direct = direct_engine("rotor", "ring 96", 4);
+  direct->run(rounds);
+  EXPECT_EQ(leaped.config_hash, direct->config_hash());
+
+  const ServiceStats& st = drv.service.stats();
+  EXPECT_EQ(st.qos[cls(QosClass::kBackground)].cj_wrapped, 1u);
+  EXPECT_EQ(st.qos[cls(QosClass::kBatch)].cj_wrapped, 0u);
+  EXPECT_EQ(st.qos[cls(QosClass::kInteractive)].cj_wrapped, 0u);
+
+  Request info;
+  info.op = Op::kInfo;
+  const Reply& rep = drv.call(info);
+  EXPECT_EQ(rep.status, Status::kOk);
+  EXPECT_NE(rep.message.find("cj=1"), std::string::npos) << rep.message;
+}
+
 }  // namespace
 }  // namespace rr::serve
